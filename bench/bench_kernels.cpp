@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for the compute kernels underneath the
+// experiments: matmul, conv2d forward/backward, im2col, crossbar MVM, and
+// Monte-Carlo perturbation sampling.
+#include <benchmark/benchmark.h>
+
+#include "analog/crossbar.h"
+#include "analog/variation.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace cn;
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  ConvGeom g{16, hw, hw, 3, 3, 1, 1};
+  Rng rng(2);
+  Tensor img({16 * hw * hw});
+  rng.fill_normal(img, 0.0f, 1.0f);
+  Tensor cols({16 * 9 * g.out_h() * g.out_w()});
+  for (auto _ : state) {
+    im2col(img.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(3);
+  nn::Conv2D conv(c, c, 3, 1, 1, 32, 32, "bench");
+  rng.fill_normal(conv.weight().value, 0.0f, 0.1f);
+  Tensor x({8, c, 32, 32});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Arg(16)->Arg(32);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(4);
+  nn::Conv2D conv(c, c, 3, 1, 1, 16, 16, "bench");
+  rng.fill_normal(conv.weight().value, 0.0f, 0.1f);
+  Tensor x({8, c, 16, 16});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = conv.forward(x, true);
+  for (auto _ : state) {
+    Tensor gx = conv.backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2DBackward)->Arg(16)->Arg(32);
+
+void BM_CrossbarMatvec(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  Tensor w({n, n});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  analog::RramDeviceParams dev;
+  dev.program_sigma = 0.1f;
+  analog::CrossbarArray xbar(w, dev, rng, 128);
+  Tensor x({n});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = xbar.matvec(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+}
+BENCHMARK(BM_CrossbarMatvec)->Arg(128)->Arg(512);
+
+void BM_VariationSampling(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(6);
+  Tensor w({n, n});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  for (auto _ : state) {
+    Tensor f = vm.sample_factors(w, rng);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_VariationSampling)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,307 @@
+// Shared infrastructure for the experiment benches.
+//
+// Each bench binary regenerates one paper table/figure. The four
+// network-dataset pairs of the paper's evaluation map to:
+//   VGG16-Cifar100  -> VGG16-Objects100   (3x32x32, 100 classes)
+//   VGG16-Cifar10   -> VGG16-Objects10    (3x32x32, 10 classes)
+//   LeNet-5-Cifar10 -> LeNet5-Objects10   (3x32x32, 10 classes)
+//   LeNet-5-MNIST   -> LeNet5-Digits      (1x28x28, 10 classes)
+//
+// Trained models are cached under ./cnet_cache/ so benches share artifacts;
+// delete the directory to retrain from scratch. Every bench prints aligned
+// text tables (the paper's rows/series) and writes a CSV alongside.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/compensation.h"
+#include "core/config.h"
+#include "core/lipschitz.h"
+#include "core/montecarlo.h"
+#include "core/sensitivity.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "models/vgg.h"
+#include "nn/serialize.h"
+
+namespace cn::bench {
+
+// ---------- workload definitions ----------
+
+enum class Net { kLeNet, kVgg };
+
+struct Workload {
+  std::string name;        // e.g. "VGG16-Objects100"
+  std::string paper_name;  // e.g. "VGG16-Cifar100"
+  Net net = Net::kLeNet;
+  bool digits = false;     // digits vs objects dataset
+  int num_classes = 10;
+  // training recipe (tuned in DESIGN.md; epochs scale with CORRECTNET_EPOCHS)
+  int epochs = 6;
+  float lr = 1e-3f;
+  float lr_decay = 1.0f;
+  float lip_beta = 3e-2f;
+  float lip_lambda_min = 0.0f;
+  int lip_warmup = 0;  // epochs before the penalty switches on (deep nets)
+  int comp_epochs = 5;
+  float comp_lr = 2e-3f;
+  int64_t train_count = 4000;
+  int64_t test_count = 800;
+  float fixed_ratio = 0.5f;   // generator filters / base filters
+  int64_t max_comp_layers = 4;
+};
+
+inline Workload wl_lenet_digits() {
+  Workload w;
+  w.name = "LeNet5-Digits";
+  w.paper_name = "LeNet-5-MNIST";
+  w.net = Net::kLeNet;
+  w.digits = true;
+  w.epochs = 8;
+  w.train_count = 2500;
+  w.test_count = 600;
+  w.max_comp_layers = 2;
+  return w;
+}
+
+inline Workload wl_lenet_obj10() {
+  Workload w;
+  w.name = "LeNet5-Objects10";
+  w.paper_name = "LeNet-5-Cifar10";
+  w.net = Net::kLeNet;
+  w.epochs = 10;
+  w.lr_decay = 0.85f;
+  w.train_count = 4000;
+  w.test_count = 800;
+  w.max_comp_layers = 1;
+  return w;
+}
+
+inline Workload wl_vgg_obj10() {
+  Workload w;
+  w.name = "VGG16-Objects10";
+  w.paper_name = "VGG16-Cifar10";
+  w.net = Net::kVgg;
+  w.epochs = 12;
+  w.lr_decay = 0.85f;
+  w.lip_lambda_min = 1.0f;  // deep net: unclamped λ collapses training
+  w.lip_warmup = 3;
+  w.train_count = 4000;
+  w.test_count = 800;
+  w.max_comp_layers = 3;
+  return w;
+}
+
+inline Workload wl_vgg_obj100() {
+  Workload w;
+  w.name = "VGG16-Objects100";
+  w.paper_name = "VGG16-Cifar100";
+  w.net = Net::kVgg;
+  w.num_classes = 100;
+  w.epochs = 14;
+  w.lr = 1.5e-3f;
+  w.lr_decay = 0.88f;
+  w.lip_lambda_min = 1.0f;
+  w.lip_warmup = 5;
+  w.train_count = 8000;  // 100 classes need >= 80 samples/class to converge
+  w.test_count = 800;
+  w.max_comp_layers = 4;
+  return w;
+}
+
+inline std::vector<Workload> all_workloads() {
+  return {wl_vgg_obj100(), wl_vgg_obj10(), wl_lenet_obj10(), wl_lenet_digits()};
+}
+
+// ---------- dataset / model construction ----------
+
+inline data::SplitDataset make_dataset(const Workload& w) {
+  const auto& rc = core::RuntimeConfig::get();
+  if (w.digits) {
+    data::DigitsSpec spec;
+    spec.train_count = std::min(w.train_count, rc.train_cap);
+    spec.test_count = std::min(w.test_count, rc.test_cap);
+    return data::make_digits(spec);
+  }
+  data::ObjectsSpec spec;
+  spec.num_classes = w.num_classes;
+  spec.train_count = std::min(w.train_count, std::max(rc.train_cap, w.train_count));
+  spec.test_count = std::min(w.test_count, rc.test_cap);
+  if (w.num_classes >= 100) {
+    spec.noise_std = 0.35f;
+    spec.class_similarity = 0.4f;
+    spec.jitter_frac = 0.1f;
+  } else {
+    spec.noise_std = 0.7f;
+    spec.class_similarity = 0.6f;
+    spec.jitter_frac = 0.15f;
+  }
+  return data::make_objects(spec);
+}
+
+inline nn::Sequential make_model(const Workload& w, Rng& rng) {
+  if (w.net == Net::kLeNet)
+    return models::lenet5(w.digits ? 1 : 3, w.digits ? 28 : 32, w.num_classes, rng);
+  models::VggConfig cfg;
+  cfg.num_classes = w.num_classes;
+  return models::vgg16(cfg, rng);
+}
+
+// ---------- cached training ----------
+
+inline std::string cache_dir() {
+  std::filesystem::create_directories("cnet_cache");
+  return "cnet_cache";
+}
+
+inline core::TrainConfig base_train_config(const Workload& w) {
+  const auto& rc = core::RuntimeConfig::get();
+  core::TrainConfig cfg;
+  cfg.epochs = rc.epochs(w.epochs);
+  cfg.lr = w.lr;
+  cfg.lr_decay = w.lr_decay;
+  return cfg;
+}
+
+inline core::TrainConfig lipschitz_train_config(const Workload& w, float sigma = 0.5f) {
+  core::TrainConfig cfg = base_train_config(w);
+  cfg.lipschitz.enabled = true;
+  cfg.lipschitz.sigma = sigma;
+  cfg.lipschitz.beta = w.lip_beta;
+  cfg.lipschitz.lambda_min = w.lip_lambda_min;
+  cfg.lipschitz_warmup_epochs = w.lip_warmup;
+  return cfg;
+}
+
+inline core::TrainConfig comp_train_config(const Workload& w, float sigma = 0.5f) {
+  const auto& rc = core::RuntimeConfig::get();
+  core::TrainConfig cfg;
+  cfg.epochs = rc.epochs(w.comp_epochs);
+  cfg.lr = w.comp_lr;
+  cfg.variation = analog::VariationModel{analog::VariationKind::kLognormal, sigma};
+  return cfg;
+}
+
+/// Trains (or loads from cache) the baseline network for a workload.
+inline nn::Sequential get_base_model(const Workload& w, const data::SplitDataset& ds) {
+  Rng rng(2023);
+  nn::Sequential m = make_model(w, rng);
+  const std::string path = cache_dir() + "/" + w.name + "_base.wts";
+  if (std::filesystem::exists(path)) {
+    nn::load_weights(m, path);
+    return m;
+  }
+  std::printf("  [train] %s baseline (%d epochs)...\n", w.name.c_str(),
+              base_train_config(w).epochs);
+  std::fflush(stdout);
+  core::train(m, ds.train, ds.test, base_train_config(w));
+  nn::save_weights(m, path);
+  return m;
+}
+
+/// Trains (or loads) the Lipschitz-regularized network.
+inline nn::Sequential get_lipschitz_model(const Workload& w,
+                                          const data::SplitDataset& ds) {
+  Rng rng(2024);
+  nn::Sequential m = make_model(w, rng);
+  const std::string path = cache_dir() + "/" + w.name + "_lip.wts";
+  if (std::filesystem::exists(path)) {
+    nn::load_weights(m, path);
+    return m;
+  }
+  std::printf("  [train] %s with Lipschitz regularization (%d epochs)...\n",
+              w.name.c_str(), lipschitz_train_config(w).epochs);
+  std::fflush(stdout);
+  core::train(m, ds.train, ds.test, lipschitz_train_config(w));
+  nn::save_weights(m, path);
+  return m;
+}
+
+/// The default compensation plan: fixed ratio on the first max_comp_layers
+/// candidate convs (Table I's RL-chosen layer counts are mirrored by
+/// max_comp_layers per workload; bench_fig10 runs the actual RL search).
+inline core::CompensationPlan default_plan(const Workload& w, nn::Sequential& lip) {
+  core::CompensationPlan plan;
+  auto convs = core::conv_layer_indices(lip);
+  for (int64_t i = 0; i < std::min<int64_t>(w.max_comp_layers,
+                                            static_cast<int64_t>(convs.size()));
+       ++i) {
+    auto* conv = dynamic_cast<nn::Conv2D*>(&lip.layer(convs[static_cast<size_t>(i)]));
+    const int64_t m = std::max<int64_t>(
+        1, static_cast<int64_t>(w.fixed_ratio * conv->out_channels() + 0.5f));
+    plan.entries.emplace_back(convs[static_cast<size_t>(i)], m);
+  }
+  return plan;
+}
+
+/// Trains (or loads) the full CorrectNet model (suppression + compensation).
+inline nn::Sequential get_corrected_model(const Workload& w,
+                                          const data::SplitDataset& ds,
+                                          core::CompensationPlan* plan_out = nullptr) {
+  data::SplitDataset local;  // keep ds alive; nothing to copy
+  nn::Sequential lip = get_lipschitz_model(w, ds);
+  core::CompensationPlan plan = default_plan(w, lip);
+  if (plan_out) *plan_out = plan;
+  Rng rng(2025);
+  nn::Sequential m = core::with_compensation(lip, plan, rng);
+  const std::string path = cache_dir() + "/" + w.name + "_corr.wts";
+  if (std::filesystem::exists(path)) {
+    nn::load_weights(m, path);
+    return m;
+  }
+  std::printf("  [train] %s compensation blocks (%d epochs)...\n", w.name.c_str(),
+              comp_train_config(w).epochs);
+  std::fflush(stdout);
+  core::train_compensation(m, ds.train, ds.test, comp_train_config(w));
+  nn::save_weights(m, path);
+  return m;
+}
+
+// ---------- output helpers ----------
+
+/// Minimal CSV writer: one file per bench, header + rows.
+class Csv {
+ public:
+  explicit Csv(const std::string& path) : os_(path) {
+    std::printf("  (csv -> %s)\n", path.c_str());
+  }
+  void row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) os_ << ',';
+      os_ << cells[i];
+    }
+    os_ << '\n';
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline analog::VariationModel lognormal(float sigma) {
+  return analog::VariationModel{analog::VariationKind::kLognormal, sigma};
+}
+
+inline core::McOptions mc_options(int64_t first_site = 0) {
+  core::McOptions mc;
+  mc.samples = core::RuntimeConfig::get().mc_samples;
+  mc.first_site = first_site;
+  return mc;
+}
+
+inline const std::vector<float>& sigma_grid() {
+  static const std::vector<float> grid = {0.0f, 0.1f, 0.2f, 0.3f, 0.4f, 0.5f};
+  return grid;
+}
+
+}  // namespace cn::bench

@@ -1,0 +1,170 @@
+// Command-line front end for the CorrectNet pipeline.
+//
+// Usage:
+//   correctnet_cli [--net lenet|vgg] [--dataset digits|objects10|objects100]
+//                  [--sigma 0.5] [--epochs 6] [--comp-epochs 5]
+//                  [--beta 3e-2] [--lambda-min 0] [--warmup 0]
+//                  [--ratio 0.5] [--max-layers 4] [--mc 15] [--rl]
+//                  [--train N] [--test N] [--save-prefix PATH]
+//
+// Runs baseline -> suppression -> sensitivity -> compensation -> Monte-Carlo
+// and prints a summary; optionally saves the trained weights.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "models/vgg.h"
+#include "nn/serialize.h"
+
+namespace {
+
+struct Args {
+  std::string net = "lenet";
+  std::string dataset = "digits";
+  float sigma = 0.5f;
+  int epochs = 6;
+  int comp_epochs = 5;
+  float beta = 3e-2f;
+  float lambda_min = 0.0f;
+  int warmup = 0;
+  float ratio = 0.5f;
+  int max_layers = 4;
+  int mc = 15;
+  bool rl = false;
+  int64_t train = 2500;
+  int64_t test = 600;
+  std::string save_prefix;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--net lenet|vgg] [--dataset digits|objects10|objects100]\n"
+               "          [--sigma S] [--epochs N] [--comp-epochs N] [--beta B]\n"
+               "          [--lambda-min L] [--warmup N] [--ratio R] [--max-layers N]\n"
+               "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string k = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (k == "--net") a.net = next();
+    else if (k == "--dataset") a.dataset = next();
+    else if (k == "--sigma") a.sigma = std::strtof(next(), nullptr);
+    else if (k == "--epochs") a.epochs = std::atoi(next());
+    else if (k == "--comp-epochs") a.comp_epochs = std::atoi(next());
+    else if (k == "--beta") a.beta = std::strtof(next(), nullptr);
+    else if (k == "--lambda-min") a.lambda_min = std::strtof(next(), nullptr);
+    else if (k == "--warmup") a.warmup = std::atoi(next());
+    else if (k == "--ratio") a.ratio = std::strtof(next(), nullptr);
+    else if (k == "--max-layers") a.max_layers = std::atoi(next());
+    else if (k == "--mc") a.mc = std::atoi(next());
+    else if (k == "--rl") a.rl = true;
+    else if (k == "--train") a.train = std::atoll(next());
+    else if (k == "--test") a.test = std::atoll(next());
+    else if (k == "--save-prefix") a.save_prefix = next();
+    else usage(argv[0]);
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  const Args args = parse(argc, argv);
+
+  // Dataset.
+  data::SplitDataset ds;
+  int num_classes = 10;
+  int64_t in_c = 1, in_hw = 28;
+  if (args.dataset == "digits") {
+    data::DigitsSpec spec;
+    spec.train_count = args.train;
+    spec.test_count = args.test;
+    ds = data::make_digits(spec);
+  } else if (args.dataset == "objects10" || args.dataset == "objects100") {
+    data::ObjectsSpec spec;
+    spec.num_classes = (args.dataset == "objects100") ? 100 : 10;
+    num_classes = static_cast<int>(spec.num_classes);
+    spec.train_count = args.train;
+    spec.test_count = args.test;
+    if (num_classes >= 100) {
+      spec.noise_std = 0.35f;
+      spec.class_similarity = 0.4f;
+      spec.jitter_frac = 0.1f;
+    } else {
+      spec.noise_std = 0.7f;
+      spec.class_similarity = 0.6f;
+      spec.jitter_frac = 0.15f;
+    }
+    ds = data::make_objects(spec);
+    in_c = 3;
+    in_hw = 32;
+  } else {
+    usage(argv[0]);
+  }
+
+  core::PipelineConfig cfg;
+  cfg.name = args.net + "-" + args.dataset;
+  cfg.sigma = args.sigma;
+  cfg.base_train.epochs = args.epochs;
+  cfg.lipschitz_train.epochs = args.epochs;
+  cfg.lipschitz_train.lipschitz.beta = args.beta;
+  cfg.lipschitz_train.lipschitz.lambda_min = args.lambda_min;
+  cfg.lipschitz_train.lipschitz_warmup_epochs = args.warmup;
+  cfg.comp_train.epochs = args.comp_epochs;
+  cfg.comp_train.lr = 2e-3f;
+  cfg.mc.samples = args.mc;
+  cfg.fixed_ratio = args.ratio;
+  cfg.max_candidates = args.max_layers;
+  cfg.plan_mode = args.rl ? core::PlanMode::kRl : core::PlanMode::kFixedRatio;
+  if (args.rl) {
+    cfg.search.reinforce.iterations = 10;
+    cfg.search.comp_train.epochs = 1;
+    cfg.search.mc.samples = std::max(3, args.mc / 4);
+    cfg.search.overhead_limit = 0.05f;
+  }
+  cfg.log = [](const std::string& s) { std::printf("%s\n", s.c_str()); };
+
+  auto make_model = [&](Rng& rng) -> nn::Sequential {
+    if (args.net == "vgg") {
+      models::VggConfig vcfg;
+      vcfg.num_classes = num_classes;
+      return models::vgg16(vcfg, rng);
+    }
+    return models::lenet5(in_c, in_hw, num_classes, rng);
+  };
+
+  core::PipelineResult r =
+      core::run_correctnet(make_model, ds.train, ds.test, cfg);
+
+  std::printf("\n==== %s, sigma = %.2f ====\n", cfg.name.c_str(), args.sigma);
+  std::printf("clean:       baseline %.2f%%, lipschitz %.2f%%\n",
+              100.0 * r.clean_acc_base, 100.0 * r.clean_acc_lipschitz);
+  std::printf("variations:  baseline %.2f%% +- %.2f%%\n", 100.0 * r.base_var.mean,
+              100.0 * r.base_var.stddev);
+  std::printf("suppressed:  %.2f%% +- %.2f%%\n", 100.0 * r.lipschitz_var.mean,
+              100.0 * r.lipschitz_var.stddev);
+  std::printf("CorrectNet:  %.2f%% +- %.2f%%  (overhead %.2f%%, %lld layers)\n",
+              100.0 * r.corrected_var.mean, 100.0 * r.corrected_var.stddev,
+              100.0 * r.overhead, static_cast<long long>(r.comp_layers));
+
+  if (!args.save_prefix.empty()) {
+    nn::save_weights(r.base_model, args.save_prefix + "_base.wts");
+    nn::save_weights(r.lipschitz_model, args.save_prefix + "_lip.wts");
+    nn::save_weights(r.corrected_model, args.save_prefix + "_corrected.wts");
+    std::printf("weights saved with prefix %s\n", args.save_prefix.c_str());
+  }
+  return 0;
+}

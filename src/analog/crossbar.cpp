@@ -1,0 +1,128 @@
+#include "analog/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace cn::analog {
+
+CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev,
+                           Rng& rng)
+    : rows_(w.dim(0)), cols_(w.dim(1)), dev_(dev) {
+  if (w.rank() != 2) throw std::invalid_argument("CrossbarTile: weight must be rank-2");
+  if (dev.g_max <= dev.g_min)
+    throw std::invalid_argument("CrossbarTile: g_max must exceed g_min");
+  const float g_range = dev.g_max - dev.g_min;
+  // scale maps conductance difference to weight: w = scale * (g+ - g-).
+  scale_ = (w_absmax > 0.0f) ? w_absmax / g_range : 1.0f;
+
+  const int64_t n = rows_ * cols_;
+  g_pos_.resize(static_cast<size_t>(n));
+  g_neg_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float wv = w[i];
+    // Differential mapping: positive weights raise G+, negative raise G-.
+    float gp = dev.g_min + (wv > 0.0f ? wv / scale_ : 0.0f);
+    float gn = dev.g_min + (wv < 0.0f ? -wv / scale_ : 0.0f);
+    gp = std::min(gp, dev.g_max);
+    gn = std::min(gn, dev.g_max);
+    if (dev.conductance_levels > 1) {
+      gp = quantize_uniform(gp, dev.g_min, dev.g_max, dev.conductance_levels);
+      gn = quantize_uniform(gn, dev.g_min, dev.g_max, dev.conductance_levels);
+    }
+    if (dev.program_sigma > 0.0f) {
+      gp *= static_cast<float>(rng.lognormal(0.0, dev.program_sigma));
+      gn *= static_cast<float>(rng.lognormal(0.0, dev.program_sigma));
+    }
+    g_pos_[static_cast<size_t>(i)] = gp;
+    g_neg_[static_cast<size_t>(i)] = gn;
+  }
+}
+
+void CrossbarTile::accumulate_matvec(const float* x, float* y, Rng* read_rng) const {
+  // Currents on positive/negative bitlines.
+  std::vector<double> ip(static_cast<size_t>(cols_), 0.0);
+  std::vector<double> in(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float v = x[r];
+    if (v == 0.0f) continue;
+    const float* gp = g_pos_.data() + r * cols_;
+    const float* gn = g_neg_.data() + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      ip[static_cast<size_t>(c)] += static_cast<double>(v) * gp[c];
+      in[static_cast<size_t>(c)] += static_cast<double>(v) * gn[c];
+    }
+  }
+  Tensor currents({cols_});
+  for (int64_t c = 0; c < cols_; ++c)
+    currents[c] = static_cast<float>(ip[static_cast<size_t>(c)] - in[static_cast<size_t>(c)]);
+  if (read_rng && dev_.read_sigma > 0.0f) {
+    for (int64_t c = 0; c < cols_; ++c)
+      currents[c] *= 1.0f + static_cast<float>(read_rng->normal(0.0, dev_.read_sigma));
+  }
+  if (dev_.adc_bits > 0) {
+    // Full scale: every row driving g_max differentially.
+    const float fs = static_cast<float>(rows_) * (dev_.g_max - dev_.g_min);
+    adc_quantize(currents, dev_.adc_bits, fs);
+  }
+  for (int64_t c = 0; c < cols_; ++c) y[c] += scale_ * currents[c];
+}
+
+Tensor CrossbarTile::effective_weights() const {
+  Tensor w({rows_, cols_});
+  for (int64_t i = 0; i < rows_ * cols_; ++i)
+    w[i] = scale_ * (g_pos_[static_cast<size_t>(i)] - g_neg_[static_cast<size_t>(i)]);
+  return w;
+}
+
+CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev,
+                             Rng& rng, int64_t tile) {
+  if (w_out_in.rank() != 2)
+    throw std::invalid_argument("CrossbarArray: weight must be rank-2");
+  if (tile < 1) throw std::invalid_argument("CrossbarArray: tile must be positive");
+  dev_ = dev;
+  out_ = w_out_in.dim(0);
+  in_ = w_out_in.dim(1);
+  const float absmax = max_abs(w_out_in);
+  // Orient as (in, out): wordlines = inputs.
+  Tensor w_in_out = transpose(w_out_in);
+  for (int64_t r0 = 0; r0 < in_; r0 += tile) {
+    const int64_t rr = std::min(tile, in_ - r0);
+    for (int64_t c0 = 0; c0 < out_; c0 += tile) {
+      const int64_t cc = std::min(tile, out_ - c0);
+      Tensor sub({rr, cc});
+      for (int64_t r = 0; r < rr; ++r)
+        for (int64_t c = 0; c < cc; ++c)
+          sub[r * cc + c] = w_in_out[(r0 + r) * out_ + (c0 + c)];
+      tiles_.push_back(Placed{r0, c0, CrossbarTile(sub, absmax, dev, rng)});
+    }
+  }
+}
+
+Tensor CrossbarArray::matvec(const Tensor& x, Rng* read_rng) const {
+  if (x.size() != in_) throw std::invalid_argument("CrossbarArray::matvec: size mismatch");
+  Tensor y({out_});
+  // DAC quantization applies once to the shared input voltages.
+  Tensor x_q = x;
+  dac_quantize(x_q, dev_.dac_bits);
+  for (const Placed& p : tiles_) {
+    p.tile.accumulate_matvec(x_q.data() + p.row0, y.data() + p.col0,
+                             read_rng);
+  }
+  return y;
+}
+
+Tensor CrossbarArray::effective_weights() const {
+  Tensor w({out_, in_});
+  for (const Placed& p : tiles_) {
+    Tensor sub = p.tile.effective_weights();  // (rows=in slice, cols=out slice)
+    for (int64_t r = 0; r < sub.dim(0); ++r)
+      for (int64_t c = 0; c < sub.dim(1); ++c)
+        w[(p.col0 + c) * in_ + (p.row0 + r)] = sub[r * sub.dim(1) + c];
+  }
+  return w;
+}
+
+}  // namespace cn::analog

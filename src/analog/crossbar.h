@@ -1,0 +1,91 @@
+// RRAM crossbar simulator (paper §II, Fig. 1).
+//
+// Weights map to differential conductance pairs: w = s·(G⁺ − G⁻) with both
+// conductances in [g_min, g_max]. MAC is Ohm's law + Kirchhoff's current law:
+// applying input voltages on wordlines, each bitline accumulates
+// I_j = Σ_i V_i · G_ij, and the digital periphery computes s·(I⁺_j − I⁻_j).
+//
+// Programming variation perturbs each programmed conductance with the
+// lognormal model; optional multi-level programming quantizes conductances,
+// and optional read noise / ADC quantization model the readout path. At zero
+// variation and full precision, crossbar MVM equals the ideal matvec — a
+// property test pins this down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/quant.h"
+#include "analog/variation.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cn::analog {
+
+/// Physical device / periphery parameters of one crossbar tile.
+struct RramDeviceParams {
+  float g_min = 1e-6f;        // Siemens; off conductance
+  float g_max = 1e-4f;        // Siemens; on conductance
+  int conductance_levels = 0; // >0: multi-level cell quantization before variation
+  float program_sigma = 0.0f; // lognormal σ applied to programmed conductance
+  float read_sigma = 0.0f;    // per-read multiplicative Gaussian noise on currents
+  int adc_bits = 0;           // >0: quantize accumulated currents
+  int dac_bits = 0;           // >0: quantize input voltages
+};
+
+/// One crossbar tile holding a weight matrix W (rows, cols): rows are inputs
+/// (wordlines), cols are outputs (bitlines), i.e. y = W^T x is computed as
+/// column current sums. CorrectNet layers store W as (out, in); use
+/// CrossbarArray which handles the transpose and tiling.
+class CrossbarTile {
+ public:
+  /// Programs the tile from `w` (rows=in, cols=out), scaling by max |w| of
+  /// the whole array (`w_absmax`). Applies level quantization then
+  /// programming variation via `rng`.
+  CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev, Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// y_j += Σ_i x_i · w_eff(i,j); applies read noise/ADC if configured.
+  void accumulate_matvec(const float* x, float* y, Rng* read_rng) const;
+
+  /// The effective (perturbed, quantized) weight matrix (rows=in, cols=out).
+  Tensor effective_weights() const;
+
+ private:
+  int64_t rows_, cols_;
+  float scale_;                 // weight per Siemens
+  RramDeviceParams dev_;
+  std::vector<float> g_pos_, g_neg_;  // programmed conductances, row-major
+};
+
+/// A weight matrix W (out, in) split into tiles of at most `tile` rows/cols,
+/// as a real accelerator would. matvec(x) returns W_eff · x.
+class CrossbarArray {
+ public:
+  CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev, Rng& rng,
+                int64_t tile = 128);
+
+  int64_t in_dim() const { return in_; }
+  int64_t out_dim() const { return out_; }
+  int64_t num_tiles() const { return static_cast<int64_t>(tiles_.size()); }
+
+  /// y = W_eff · x, with optional read noise if `read_rng` provided and the
+  /// device has read_sigma > 0.
+  Tensor matvec(const Tensor& x, Rng* read_rng = nullptr) const;
+
+  /// Reconstructs the full effective weight matrix (out, in) for validation.
+  Tensor effective_weights() const;
+
+ private:
+  struct Placed {
+    int64_t row0, col0;  // offsets in the (in, out) orientation
+    CrossbarTile tile;
+  };
+  int64_t in_, out_;
+  RramDeviceParams dev_;
+  std::vector<Placed> tiles_;
+};
+
+}  // namespace cn::analog

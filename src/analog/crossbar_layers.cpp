@@ -1,0 +1,97 @@
+#include "analog/crossbar_layers.h"
+
+#include <stdexcept>
+
+namespace cn::analog {
+
+CrossbarDense::CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev,
+                             Rng& prog_rng, int64_t tile)
+    : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
+                                            tile)),
+      bias_(const_cast<nn::Dense&>(src).bias().value) {
+  label_ = src.label() + "@xbar";
+}
+
+Tensor CrossbarDense::forward(const Tensor& x, bool) {
+  if (x.rank() != 2 || x.dim(1) != xbar_->in_dim())
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
+  const int64_t N = x.dim(0), out = xbar_->out_dim(), in = xbar_->in_dim();
+  Tensor y({N, out});
+  Tensor xi({in});
+  for (int64_t n = 0; n < N; ++n) {
+    std::copy(x.data() + n * in, x.data() + (n + 1) * in, xi.data());
+    Tensor yi = xbar_->matvec(xi, read_rng_);
+    for (int64_t o = 0; o < out; ++o) y[n * out + o] = yi[o] + bias_[o];
+  }
+  return y;
+}
+
+Tensor CrossbarDense::backward(const Tensor&) {
+  throw std::logic_error(label_ + ": crossbar layers are inference-only");
+}
+
+std::unique_ptr<nn::Layer> CrossbarDense::clone() const {
+  auto c = std::unique_ptr<CrossbarDense>(new CrossbarDense(*this));
+  return c;
+}
+
+CrossbarConv2D::CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev,
+                               Rng& prog_rng, int64_t tile)
+    : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
+                                            tile)),
+      geom_(src.geom()),
+      out_c_(src.out_channels()),
+      bias_(const_cast<nn::Conv2D&>(src).bias().value) {
+  label_ = src.label() + "@xbar";
+}
+
+Tensor CrossbarConv2D::forward(const Tensor& x, bool) {
+  if (x.rank() != 4 || x.dim(1) != geom_.in_c || x.dim(2) != geom_.in_h ||
+      x.dim(3) != geom_.in_w)
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
+  const int64_t N = x.dim(0);
+  const int64_t OH = geom_.out_h(), OW = geom_.out_w();
+  const int64_t K2 = geom_.in_c * geom_.k_h * geom_.k_w;
+  const int64_t img_in = geom_.in_c * geom_.in_h * geom_.in_w;
+  Tensor y({N, out_c_, OH, OW});
+  std::vector<float> cols(static_cast<size_t>(K2 * OH * OW));
+  Tensor col({K2});
+  for (int64_t n = 0; n < N; ++n) {
+    im2col(x.data() + n * img_in, geom_, cols.data());
+    float* out = y.data() + n * out_c_ * OH * OW;
+    // Each output pixel: one crossbar MVM over its im2col column.
+    for (int64_t p = 0; p < OH * OW; ++p) {
+      for (int64_t k = 0; k < K2; ++k) col[k] = cols[static_cast<size_t>(k * OH * OW + p)];
+      Tensor acts = xbar_->matvec(col, read_rng_);
+      for (int64_t o = 0; o < out_c_; ++o) out[o * OH * OW + p] = acts[o] + bias_[o];
+    }
+  }
+  return y;
+}
+
+Tensor CrossbarConv2D::backward(const Tensor&) {
+  throw std::logic_error(label_ + ": crossbar layers are inference-only");
+}
+
+std::unique_ptr<nn::Layer> CrossbarConv2D::clone() const {
+  return std::unique_ptr<CrossbarConv2D>(new CrossbarConv2D(*this));
+}
+
+nn::Sequential program_to_crossbars(const nn::Sequential& model,
+                                    const RramDeviceParams& dev, Rng& prog_rng,
+                                    int64_t tile) {
+  nn::Sequential out(model.label() + "@xbar");
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    const nn::Layer& l = model.layer(i);
+    if (const auto* d = dynamic_cast<const nn::Dense*>(&l)) {
+      out.add(std::make_unique<CrossbarDense>(*d, dev, prog_rng, tile));
+    } else if (const auto* c = dynamic_cast<const nn::Conv2D*>(&l)) {
+      out.add(std::make_unique<CrossbarConv2D>(*c, dev, prog_rng, tile));
+    } else {
+      out.add(l.clone());
+    }
+  }
+  return out;
+}
+
+}  // namespace cn::analog

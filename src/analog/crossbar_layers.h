@@ -1,0 +1,77 @@
+// Crossbar-backed inference: runs Dense/Conv2D layers through the
+// device-level CrossbarArray substrate instead of the fast factor-injection
+// path.
+//
+// The training pipeline injects variations as multiplicative factors
+// (w_eff = w ∘ e^θ) because that is the paper's model and it is fast. This
+// module executes the *same* layers through programmed conductances — tiling,
+// differential pairs, optional quantization and read noise — so the shortcut
+// can be validated end-to-end: at matched programming σ the two paths must
+// produce statistically indistinguishable accuracy (see
+// tests/test_crossbar_exec.cpp and examples/crossbar_inspect.cpp).
+#pragma once
+
+#include <memory>
+
+#include "analog/crossbar.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+
+namespace cn::analog {
+
+/// Inference-only Dense executed on a programmed crossbar array.
+class CrossbarDense final : public nn::Layer {
+ public:
+  /// Programs the crossbar from the trained layer's nominal weights.
+  CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev, Rng& prog_rng,
+                int64_t tile = 128);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor&) override;  // throws: inference only
+  std::unique_ptr<nn::Layer> clone() const override;
+  std::string kind() const override { return "crossbar_dense"; }
+  bool is_analog() const override { return true; }
+
+  const CrossbarArray& array() const { return *xbar_; }
+  /// Enables per-read noise using the given stream (nullptr disables).
+  void set_read_rng(Rng* rng) { read_rng_ = rng; }
+
+ private:
+  std::shared_ptr<CrossbarArray> xbar_;  // shared by clones (programmed once)
+  Tensor bias_;
+  Rng* read_rng_ = nullptr;
+};
+
+/// Inference-only Conv2D executed on a programmed crossbar array
+/// (im2col columns become wordline vectors).
+class CrossbarConv2D final : public nn::Layer {
+ public:
+  CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev, Rng& prog_rng,
+                 int64_t tile = 128);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor&) override;  // throws: inference only
+  std::unique_ptr<nn::Layer> clone() const override;
+  std::string kind() const override { return "crossbar_conv2d"; }
+  bool is_analog() const override { return true; }
+
+  const CrossbarArray& array() const { return *xbar_; }
+  void set_read_rng(Rng* rng) { read_rng_ = rng; }
+
+ private:
+  std::shared_ptr<CrossbarArray> xbar_;
+  ConvGeom geom_;
+  int64_t out_c_;
+  Tensor bias_;
+  Rng* read_rng_ = nullptr;
+};
+
+/// Deep-copies `model`, replacing every Dense/Conv2D with its crossbar-backed
+/// equivalent programmed with `dev` (one chip instance). Compensation blocks
+/// and other layers are cloned unchanged (they are digital).
+nn::Sequential program_to_crossbars(const nn::Sequential& model,
+                                    const RramDeviceParams& dev, Rng& prog_rng,
+                                    int64_t tile = 128);
+
+}  // namespace cn::analog

@@ -1,0 +1,58 @@
+// Weight-variation models for analog in-memory computing.
+//
+// The paper's model (Eq. 1-2): w = w_nominal * e^θ, θ ~ N(0, σ²), independent
+// per weight — the standard lognormal RRAM programming-variation model.
+// Additional models (multiplicative Gaussian, additive Gaussian) are provided
+// for ablations and to demonstrate the framework's claimed generality
+// ("can be applied into any analog platform by adapting the variation model").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cn::analog {
+
+enum class VariationKind {
+  kNone,                    // factors == 1 (useful for control runs)
+  kLognormal,               // f = e^θ, θ ~ N(0, σ²)           (paper Eq. 1-2)
+  kGaussianMultiplicative,  // f = 1 + N(0, σ)
+  kGaussianAdditiveRel,     // w' = w + N(0, σ·w_max); expressed via factors
+};
+
+/// A sampled-per-chip multiplicative perturbation of analog weights.
+struct VariationModel {
+  VariationKind kind = VariationKind::kLognormal;
+  float sigma = 0.0f;
+
+  /// Factors f with w_eff = w ∘ f for a weight of the given shape.
+  /// For kGaussianAdditiveRel the caller's weight is needed to convert the
+  /// additive noise into equivalent factors, hence the weight argument.
+  Tensor sample_factors(const Tensor& weight, Rng& rng) const;
+
+  /// Samples factors and applies them to one site.
+  void perturb(nn::PerturbableWeight& site, Rng& rng) const;
+
+  /// E[e^θ] + 3·std(e^θ) for θ~N(0,σ²): the paper's 3-sigma bound on the
+  /// lognormal factor used to derive λ in Eq. (10).
+  static double lognormal_bound3(double sigma);
+
+  std::string name() const;
+};
+
+/// Perturbs every analog site of the model (one "chip instance").
+void perturb_all(nn::Sequential& model, const VariationModel& vm, Rng& rng);
+
+/// Perturbs analog sites with index in [first_site, model end). Sites are in
+/// execution order; used by the paper's Fig. 9 sensitivity sweep ("inject
+/// variations from the i-th layer to the last layer").
+void perturb_from(nn::Sequential& model, const VariationModel& vm, Rng& rng,
+                  int64_t first_site);
+
+/// Restores nominal weights everywhere.
+void clear_variations(nn::Sequential& model);
+
+}  // namespace cn::analog

@@ -1,0 +1,157 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "data/batcher.h"
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace cn::core {
+
+std::vector<Tensor> protection_masks(nn::Sequential& model, double frac, bool topk,
+                                     Rng& rng) {
+  std::vector<Tensor> masks;
+  for (nn::PerturbableWeight* site : model.analog_sites()) {
+    const Tensor& w = site->nominal_weight();
+    Tensor mask(w.shape());
+    const int64_t n = w.size();
+    const int64_t kprot = static_cast<int64_t>(std::llround(frac * static_cast<double>(n)));
+    if (kprot > 0) {
+      std::vector<int64_t> idx(static_cast<size_t>(n));
+      std::iota(idx.begin(), idx.end(), 0);
+      if (topk) {
+        std::partial_sort(idx.begin(), idx.begin() + std::min(kprot, n), idx.end(),
+                          [&](int64_t a, int64_t b) {
+                            return std::fabs(w[a]) > std::fabs(w[b]);
+                          });
+      } else {
+        rng.shuffle(idx);
+      }
+      for (int64_t i = 0; i < std::min(kprot, n); ++i) mask[idx[static_cast<size_t>(i)]] = 1.0f;
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+namespace {
+// Applies vm-sampled factors to every site, forcing factor 1 where protected.
+void perturb_masked(nn::Sequential& model, const analog::VariationModel& vm, Rng& rng,
+                    const std::vector<Tensor>& masks) {
+  auto sites = model.analog_sites();
+  for (size_t i = 0; i < sites.size(); ++i) {
+    Tensor f = vm.sample_factors(sites[i]->nominal_weight(), rng);
+    const Tensor& mask = masks[i];
+    for (int64_t j = 0; j < f.size(); ++j)
+      if (mask[j] != 0.0f) f[j] = 1.0f;
+    sites[i]->set_weight_factors(f);
+  }
+}
+}  // namespace
+
+McResult mc_accuracy_protected(const nn::Sequential& model, const data::Dataset& test,
+                               const analog::VariationModel& vm,
+                               const std::vector<Tensor>& masks, const McOptions& opts) {
+  nn::Sequential work = model.clone_model();
+  Rng rng(opts.seed);
+  nn::RunningStats stats;
+  McResult result;
+  for (int s = 0; s < opts.samples; ++s) {
+    perturb_masked(work, vm, rng, masks);
+    const float acc = evaluate(work, test, opts.batch_size);
+    stats.add(acc);
+    result.samples.push_back(acc);
+  }
+  work.clear_all_variations();
+  result.mean = stats.mean();
+  result.stddev = stats.stddev();
+  result.min = stats.min();
+  result.max = stats.max();
+  return result;
+}
+
+McResult mc_accuracy_protected_online(const nn::Sequential& model,
+                                      const data::Dataset& train_set,
+                                      const data::Dataset& test,
+                                      const analog::VariationModel& vm,
+                                      const std::vector<Tensor>& masks,
+                                      const McOptions& opts,
+                                      const OnlineRetrainOptions& online) {
+  Rng rng(opts.seed);
+  nn::RunningStats stats;
+  McResult result;
+  nn::SoftmaxCrossEntropy loss_fn;
+  for (int s = 0; s < opts.samples; ++s) {
+    nn::Sequential work = model.clone_model();
+    auto sites = work.analog_sites();
+    // Freeze this chip's variations into the nominal weights of the clone so
+    // fine-tuning sees them; then protected entries are retrained.
+    std::vector<Tensor> factors;
+    for (size_t i = 0; i < sites.size(); ++i) {
+      Tensor f = vm.sample_factors(sites[i]->nominal_weight(), rng);
+      for (int64_t j = 0; j < f.size(); ++j)
+        if (masks[i][j] != 0.0f) f[j] = 1.0f;
+      sites[i]->set_weight_factors(f);
+      factors.push_back(std::move(f));
+    }
+    // Fine-tune: gradients masked so only protected (SRAM) entries move.
+    auto params = work.params();
+    data::Batcher batcher(train_set, online.batch_size);
+    Rng brng(opts.seed + 31ull * static_cast<uint64_t>(s));
+    batcher.reshuffle(brng);
+    for (int step = 0; step < online.steps; ++step) {
+      data::Batch batch = batcher.get(step % batcher.num_batches());
+      nn::Optimizer::zero_grad(params);
+      Tensor logits = work.forward(batch.images, /*train=*/true);
+      Tensor grad;
+      loss_fn.forward(logits, batch.labels, &grad);
+      work.backward(grad);
+      // Masked SGD: only protected (SRAM) entries of analog weights move.
+      // Params are matched to sites by the identity of the value tensor.
+      for (nn::Param* p : params) {
+        for (size_t i = 0; i < sites.size(); ++i) {
+          if (&p->value == &sites[i]->nominal_weight()) {
+            const Tensor& mask = masks[i];
+            for (int64_t j = 0; j < p->size(); ++j)
+              if (mask[j] != 0.0f) p->value[j] -= online.lr * p->grad[j];
+            // Re-apply the chip's variation on top of updated nominals.
+            sites[i]->set_weight_factors(factors[i]);
+            break;
+          }
+        }
+      }
+    }
+    const float acc = evaluate(work, test, opts.batch_size);
+    stats.add(acc);
+    result.samples.push_back(acc);
+  }
+  result.mean = stats.mean();
+  result.stddev = stats.stddev();
+  result.min = stats.min();
+  result.max = stats.max();
+  return result;
+}
+
+nn::Sequential train_variation_aware(const nn::Sequential& init_model,
+                                     const data::Dataset& train_set,
+                                     const data::Dataset& test_set,
+                                     const TrainConfig& cfg) {
+  nn::Sequential model = init_model.clone_model();
+  // Clean pretraining first: statistical training from scratch at large σ
+  // does not converge (the loss sees a different network every batch);
+  // the published methods fine-tune a converged network.
+  TrainConfig pre = cfg;
+  pre.variation_in_loop = false;
+  train(model, train_set, test_set, pre);
+  TrainConfig vcfg = cfg;
+  vcfg.variation_in_loop = true;
+  vcfg.lr = cfg.lr * 0.5f;
+  train(model, train_set, test_set, vcfg);
+  return model;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,37 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace cn::core {
+
+namespace {
+int64_t env_int(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  try {
+    return std::stoll(v);
+  } catch (...) {
+    return def;
+  }
+}
+}  // namespace
+
+int RuntimeConfig::epochs(int base) const {
+  return std::max(1, static_cast<int>(base * epoch_scale + 0.5));
+}
+
+const RuntimeConfig& RuntimeConfig::get() {
+  static const RuntimeConfig cfg = [] {
+    RuntimeConfig c;
+    c.mc_samples = static_cast<int>(env_int("CORRECTNET_MC", 25));
+    c.epoch_scale = static_cast<double>(env_int("CORRECTNET_EPOCHS", 100)) / 100.0;
+    c.train_cap = env_int("CORRECTNET_TRAIN", 4000);
+    c.test_cap = env_int("CORRECTNET_TEST", 800);
+    return c;
+  }();
+  return cfg;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,30 @@
+// Experiment scaling knobs, read once from the environment.
+//
+// The paper's experiments (250 variation samples, full datasets, GPU
+// training) are scaled to CPU budgets by default; every knob can be raised
+// to paper fidelity:
+//   CORRECTNET_MC      Monte-Carlo variation samples per point (default 25)
+//   CORRECTNET_EPOCHS  multiplier (x100) on training epochs  (default 100 = 1.0x)
+//   CORRECTNET_TRAIN   training-set size cap                  (default 4000)
+//   CORRECTNET_TEST    test-set size cap                      (default 800)
+//   CORRECTNET_THREADS (informational; pool sizes from hardware_concurrency)
+#pragma once
+
+#include <cstdint>
+
+namespace cn::core {
+
+struct RuntimeConfig {
+  int mc_samples = 25;
+  double epoch_scale = 1.0;
+  int64_t train_cap = 4000;
+  int64_t test_cap = 800;
+
+  /// Scales an epoch count by epoch_scale, min 1.
+  int epochs(int base) const;
+
+  /// Singleton, parsed from the environment on first use.
+  static const RuntimeConfig& get();
+};
+
+}  // namespace cn::core

@@ -1,0 +1,102 @@
+#include "core/lipschitz.h"
+
+#include <cmath>
+
+#include "analog/variation.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cn::core {
+
+double lipschitz_lambda(double k, double sigma) {
+  if (sigma <= 0.0) return k;
+  return k / analog::VariationModel::lognormal_bound3(sigma);
+}
+
+double LipschitzConfig::lambda() const {
+  return std::max(static_cast<double>(lambda_min),
+                  lipschitz_lambda(k, sigma));
+}
+
+namespace {
+// Returns W viewed as 2-D (dim0, rest).
+Tensor as_matrix(const Tensor& w) {
+  return w.reshaped({w.dim(0), w.size() / w.dim(0)});
+}
+}  // namespace
+
+float orthogonal_penalty(const Tensor& w, float lambda) {
+  if (w.rank() < 2) return 0.0f;
+  Tensor W = as_matrix(w);
+  const int64_t rows = W.dim(0), cols = W.dim(1);
+  const float l2 = lambda * lambda;
+  Tensor G = (rows <= cols) ? matmul_nt(W, W)          // (rows, rows)
+                            : matmul_tn(W, W);         // (cols, cols)
+  const int64_t n = G.dim(0);
+  for (int64_t i = 0; i < n; ++i) G[i * n + i] -= l2;
+  return sum_sq(G);
+}
+
+float orthogonal_penalty_grad(nn::Param& p, float beta, float lambda) {
+  if (p.value.rank() < 2) return 0.0f;
+  Tensor W = as_matrix(p.value);
+  const int64_t rows = W.dim(0), cols = W.dim(1);
+  const float l2 = lambda * lambda;
+  float penalty = 0.0f;
+  Tensor dW;
+  if (rows <= cols) {
+    Tensor G = matmul_nt(W, W);  // (rows, rows)
+    for (int64_t i = 0; i < rows; ++i) G[i * rows + i] -= l2;
+    penalty = beta * sum_sq(G);
+    // d/dW ||WW^T - λ²I||² = 4 (WW^T - λ²I) W
+    dW = matmul(G, W);
+  } else {
+    Tensor G = matmul_tn(W, W);  // (cols, cols)
+    for (int64_t i = 0; i < cols; ++i) G[i * cols + i] -= l2;
+    penalty = beta * sum_sq(G);
+    // d/dW ||W^T W - λ²I||² = 4 W (W^T W - λ²I)
+    dW = matmul(W, G);
+  }
+  scale_inplace(dW, 4.0f * beta);
+  dW.reshape(p.grad.shape());
+  add_inplace(p.grad, dW);
+  return penalty;
+}
+
+float apply_lipschitz_regularization(const std::vector<nn::Param*>& params,
+                                     const LipschitzConfig& cfg) {
+  if (!cfg.enabled) return 0.0f;
+  const float lambda = static_cast<float>(cfg.lambda());
+  float total = 0.0f;
+  for (nn::Param* p : params) {
+    if (!p->trainable || p->value.rank() < 2) continue;
+    total += orthogonal_penalty_grad(*p, cfg.beta, lambda);
+  }
+  return total;
+}
+
+float spectral_norm(const Tensor& w, int iters, uint64_t seed) {
+  if (w.rank() < 2) return max_abs(w);
+  Tensor W = as_matrix(w);
+  const int64_t cols = W.dim(1);
+  Rng rng(seed);
+  Tensor v({cols});
+  rng.fill_normal(v, 0.0f, 1.0f);
+  float nv = l2_norm(v);
+  if (nv == 0.0f) return 0.0f;
+  scale_inplace(v, 1.0f / nv);
+  float sigma = 0.0f;
+  for (int it = 0; it < iters; ++it) {
+    Tensor u = matvec(W, v);          // (rows)
+    const float nu = l2_norm(u);
+    if (nu < 1e-20f) return 0.0f;
+    scale_inplace(u, 1.0f / nu);
+    v = matvec_t(W, u);               // (cols)
+    sigma = l2_norm(v);
+    if (sigma < 1e-20f) return 0.0f;
+    scale_inplace(v, 1.0f / sigma);
+  }
+  return sigma;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,55 @@
+// Error suppression: modified Lipschitz-constant regularization (paper §III-A).
+//
+// For each layer weight W (out, in) the spectral norm ‖W‖₂ bounds how much
+// the layer amplifies an input deviation (Eq. 9). Since the analog factors
+// e^θ are random, the paper bounds them with μ + 3σ of the lognormal
+// (Eq. 10), yielding a per-layer target λ = k / (e^{σ²/2} + 3√((e^{σ²}−1)e^{σ²})).
+// Training adds β·Σ‖WᵀW − λ²I‖²_F to the loss (Eq. 11), driving all singular
+// values toward λ, i.e. W toward a scaled orthogonal matrix.
+//
+// Implementation note: for W with fewer rows than columns we penalize the
+// smaller Gram matrix ‖WWᵀ − λ²I‖²_F instead. Both penalties equal
+// Σᵢ(σᵢ²−λ²)² up to a constant (the extra null-space term (n−r)λ⁴ has zero
+// gradient), so gradients are identical and cost drops from O(in²·out) to
+// O(out²·in).
+#pragma once
+
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace cn::core {
+
+/// λ(k, σ) per Eq. (10): k over the 3-sigma bound of the lognormal factor.
+double lipschitz_lambda(double k, double sigma);
+
+/// Configuration of the regularizer.
+struct LipschitzConfig {
+  bool enabled = false;
+  float k = 1.0f;       // target Lipschitz constant per layer
+  float sigma = 0.5f;   // variation level the network must survive
+  float beta = 1e-3f;   // regularization strength β in Eq. (11)
+  /// λ floor: Eq. (10) at large σ drives λ extremely low, which can collapse
+  /// clean accuracy on deep nets; the "modified" regularization clamps it.
+  float lambda_min = 0.0f;
+
+  double lambda() const;
+};
+
+/// Adds the orthogonality-penalty gradient for one weight to `p.grad` and
+/// returns the penalty value β·‖G − λ²I‖²_F (G = smaller Gram matrix).
+/// Rank-1 params (biases) are ignored and return 0.
+float orthogonal_penalty_grad(nn::Param& p, float beta, float lambda);
+
+/// Penalty value only (no gradient), for monitoring/tests.
+float orthogonal_penalty(const Tensor& w, float lambda);
+
+/// Applies the penalty to every rank>=2 trainable param; returns total penalty.
+float apply_lipschitz_regularization(const std::vector<nn::Param*>& params,
+                                     const LipschitzConfig& cfg);
+
+/// Largest singular value of W (rows = out), via power iteration.
+float spectral_norm(const Tensor& w, int iters = 60, uint64_t seed = 7);
+
+}  // namespace cn::core

@@ -1,0 +1,31 @@
+#include "core/montecarlo.h"
+
+#include "core/trainer.h"
+#include "nn/metrics.h"
+
+namespace cn::core {
+
+McResult mc_accuracy(const nn::Sequential& model, const data::Dataset& test,
+                     const analog::VariationModel& vm, const McOptions& opts) {
+  nn::Sequential work = model.clone_model();
+  Rng rng(opts.seed);
+  nn::RunningStats stats;
+  McResult result;
+  result.samples.reserve(static_cast<size_t>(opts.samples));
+  // Samples run sequentially; each forward pass parallelizes over the batch,
+  // which keeps the thread pool saturated without nested blocking.
+  for (int s = 0; s < opts.samples; ++s) {
+    analog::perturb_from(work, vm, rng, opts.first_site);
+    const float acc = evaluate(work, test, opts.batch_size);
+    stats.add(acc);
+    result.samples.push_back(acc);
+  }
+  work.clear_all_variations();
+  result.mean = stats.mean();
+  result.stddev = stats.stddev();
+  result.min = stats.min();
+  result.max = stats.max();
+  return result;
+}
+
+}  // namespace cn::core

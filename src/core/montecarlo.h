@@ -1,0 +1,39 @@
+// Monte-Carlo evaluation of inference accuracy under weight variations.
+//
+// The paper samples the network weights 250 times from the variation model
+// and reports mean and standard deviation of accuracy (§IV). Each sample is
+// one "chip instance": every analog site gets fresh multiplicative factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/variation.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace cn::core {
+
+struct McResult {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> samples;
+};
+
+struct McOptions {
+  int samples = 25;
+  uint64_t seed = 42;
+  int64_t batch_size = 128;
+  /// Perturb only analog sites with index >= first_site (execution order);
+  /// 0 = all sites. Used by the Fig. 9 sensitivity sweep.
+  int64_t first_site = 0;
+};
+
+/// Accuracy statistics over `opts.samples` chip instances. The model is
+/// cloned internally, so the caller's weights are untouched.
+McResult mc_accuracy(const nn::Sequential& model, const data::Dataset& test,
+                     const analog::VariationModel& vm, const McOptions& opts);
+
+}  // namespace cn::core

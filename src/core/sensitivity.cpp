@@ -1,0 +1,32 @@
+#include "core/sensitivity.h"
+
+namespace cn::core {
+
+std::vector<SensitivityPoint> sensitivity_sweep(const nn::Sequential& model,
+                                                const data::Dataset& test,
+                                                const analog::VariationModel& vm,
+                                                const McOptions& opts) {
+  nn::Sequential probe = model.clone_model();
+  const int64_t sites = static_cast<int64_t>(probe.analog_sites().size());
+  std::vector<SensitivityPoint> out;
+  out.reserve(static_cast<size_t>(sites));
+  for (int64_t i = 0; i < sites; ++i) {
+    McOptions o = opts;
+    o.first_site = i;
+    o.seed = opts.seed + static_cast<uint64_t>(i) * 1000003ull;
+    const McResult r = mc_accuracy(probe, test, vm, o);
+    out.push_back(SensitivityPoint{i, r.mean, r.stddev});
+  }
+  return out;
+}
+
+int64_t compensation_candidate_count(const std::vector<SensitivityPoint>& sweep,
+                                     double clean_acc, double ratio) {
+  const double target = ratio * clean_acc;
+  for (const SensitivityPoint& p : sweep) {
+    if (p.mean >= target) return p.first_site;
+  }
+  return static_cast<int64_t>(sweep.size());
+}
+
+}  // namespace cn::core

@@ -1,0 +1,35 @@
+// Layer-sensitivity analysis (paper §III-B, Fig. 9).
+//
+// Variations are injected from analog site i to the last site while sites
+// before i stay nominal. Accuracy as a function of i reveals which early
+// layers are too sensitive for Lipschitz regularization alone; those become
+// the candidate set for error compensation.
+#pragma once
+
+#include <vector>
+
+#include "core/montecarlo.h"
+
+namespace cn::core {
+
+struct SensitivityPoint {
+  int64_t first_site = 0;  // variations injected from this site onward
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Sweeps first_site = 0..num_sites-1 and measures MC accuracy for each.
+std::vector<SensitivityPoint> sensitivity_sweep(const nn::Sequential& model,
+                                                const data::Dataset& test,
+                                                const analog::VariationModel& vm,
+                                                const McOptions& opts);
+
+/// Paper's candidate rule: the first i layers are compensation candidates
+/// when variations from site i onward already reach >= ratio*clean_acc
+/// (i.e. everything earlier is still too sensitive). Returns the smallest i
+/// with sweep[i].mean >= ratio*clean_acc; if none qualifies, returns the
+/// number of sites.
+int64_t compensation_candidate_count(const std::vector<SensitivityPoint>& sweep,
+                                     double clean_acc, double ratio = 0.95);
+
+}  // namespace cn::core

@@ -1,0 +1,89 @@
+#include "core/trainer.h"
+
+#include <memory>
+
+#include "data/batcher.h"
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace cn::core {
+
+TrainResult train(nn::Sequential& model, const data::Dataset& train_set,
+                  const data::Dataset& test_set, const TrainConfig& cfg) {
+  using namespace cn::nn;
+  Rng rng(cfg.seed);
+  Rng var_rng = rng.fork();
+  data::Batcher batcher(train_set, cfg.batch_size);
+  SoftmaxCrossEntropy loss_fn;
+
+  std::unique_ptr<Optimizer> opt;
+  if (cfg.optimizer == OptimizerKind::kAdam)
+    opt = std::make_unique<Adam>(cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+  else
+    opt = std::make_unique<SGD>(cfg.lr, 0.9f, cfg.weight_decay);
+
+  auto params = model.params();
+  auto sites = model.analog_sites();
+  TrainResult result;
+  float lr = cfg.lr;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    batcher.reshuffle(rng);
+    double epoch_loss = 0.0, epoch_pen = 0.0;
+    int64_t seen = 0, correct = 0;
+    for (int64_t b = 0; b < batcher.num_batches(); ++b) {
+      data::Batch batch = batcher.get(b);
+      if (cfg.variation_in_loop) {
+        for (PerturbableWeight* s : sites) cfg.variation.perturb(*s, var_rng);
+      }
+      Optimizer::zero_grad(params);
+      Tensor logits = model.forward(batch.images, /*train=*/true);
+      Tensor grad;
+      const float loss = loss_fn.forward(logits, batch.labels, &grad);
+      model.backward(grad);
+      // Clip the task gradient first, then add the (smooth, bounded)
+      // penalty gradient: clipping the sum lets the penalty starve the task
+      // gradient on deep networks.
+      if (cfg.clip_norm > 0.0f) clip_grad_norm(params, cfg.clip_norm);
+      float pen = 0.0f;
+      if (epoch >= cfg.lipschitz_warmup_epochs)
+        pen = apply_lipschitz_regularization(params, cfg.lipschitz);
+      opt->step(params);
+
+      epoch_loss += static_cast<double>(loss) * batch.size();
+      epoch_pen += pen;
+      for (int64_t i = 0; i < batch.size(); ++i)
+        if (argmax_row(logits, i) == batch.labels[static_cast<size_t>(i)]) ++correct;
+      seen += batch.size();
+    }
+    if (cfg.variation_in_loop) model.clear_all_variations();
+    lr *= cfg.lr_decay;
+    if (auto* adam = dynamic_cast<Adam*>(opt.get())) adam->set_lr(lr);
+    if (auto* sgd = dynamic_cast<SGD*>(opt.get())) sgd->set_lr(lr);
+
+    result.final_loss = static_cast<float>(epoch_loss / static_cast<double>(seen));
+    result.final_train_acc = static_cast<float>(correct) / static_cast<float>(seen);
+    result.final_penalty =
+        static_cast<float>(epoch_pen / static_cast<double>(batcher.num_batches()));
+    if (cfg.on_epoch) cfg.on_epoch(epoch, result.final_loss, result.final_train_acc);
+  }
+  result.test_acc = evaluate(model, test_set);
+  return result;
+}
+
+float evaluate(nn::Sequential& model, const data::Dataset& ds, int64_t batch_size) {
+  if (ds.size() == 0) return 0.0f;
+  data::Batcher batcher(ds, batch_size);
+  int64_t correct = 0;
+  for (int64_t b = 0; b < batcher.num_batches(); ++b) {
+    data::Batch batch = batcher.get(b);
+    Tensor logits = model.forward(batch.images, /*train=*/false);
+    for (int64_t i = 0; i < batch.size(); ++i)
+      if (argmax_row(logits, i) == batch.labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(ds.size());
+}
+
+}  // namespace cn::core

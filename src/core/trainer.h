@@ -1,0 +1,60 @@
+// Training loop shared by all experiments.
+//
+// Supports the three training regimes the paper uses:
+//  - plain cross-entropy training (baseline networks);
+//  - cross-entropy + Lipschitz orthogonality regularization (error
+//    suppression, Eq. 11);
+//  - variation-in-the-loop training of compensation blocks: base weights
+//    frozen, fresh variation factors sampled on every batch (paper §III-B),
+//    only generator/compensator weights updated.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+
+#include "analog/variation.h"
+#include "core/lipschitz.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace cn::core {
+
+enum class OptimizerKind { kAdam, kSgd };
+
+struct TrainConfig {
+  int epochs = 10;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+  float lr_decay = 1.0f;   // multiplicative per-epoch decay
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;  // 0 disables
+  LipschitzConfig lipschitz;
+  /// Epochs trained without the Lipschitz penalty before it switches on.
+  /// Deep networks need the task loss to take hold first; regularizing from
+  /// step 0 can keep a 16-layer net at chance accuracy.
+  int lipschitz_warmup_epochs = 0;
+  /// If true, every batch samples fresh variation factors on all analog
+  /// sites before forward/backward (and clears them afterwards).
+  bool variation_in_loop = false;
+  analog::VariationModel variation;
+  uint64_t seed = 1234;
+  /// Progress callback (epoch, train_loss, train_acc); optional.
+  std::function<void(int, float, float)> on_epoch;
+};
+
+struct TrainResult {
+  float final_loss = 0.0f;
+  float final_train_acc = 0.0f;
+  float test_acc = 0.0f;
+  float final_penalty = 0.0f;  // Lipschitz penalty at last epoch
+};
+
+/// Trains `model` in place; returns summary stats (test_acc on clean weights).
+TrainResult train(nn::Sequential& model, const data::Dataset& train_set,
+                  const data::Dataset& test_set, const TrainConfig& cfg);
+
+/// Clean (no-variation) accuracy of the model on a dataset.
+float evaluate(nn::Sequential& model, const data::Dataset& ds, int64_t batch_size = 64);
+
+}  // namespace cn::core

@@ -1,0 +1,57 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cn::data {
+
+void shift_image(float* img, int64_t c, int64_t h, int64_t w, int dy, int dx,
+                 float pad_value) {
+  if (dy == 0 && dx == 0) return;
+  std::vector<float> tmp(static_cast<size_t>(h * w));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* chan = img + ch * h * w;
+    std::fill(tmp.begin(), tmp.end(), pad_value);
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) continue;
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t sx = x - dx;
+        if (sx < 0 || sx >= w) continue;
+        tmp[static_cast<size_t>(y * w + x)] = chan[sy * w + sx];
+      }
+    }
+    std::copy(tmp.begin(), tmp.end(), chan);
+  }
+}
+
+void hflip_image(float* img, int64_t c, int64_t h, int64_t w) {
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* chan = img + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      float* row = chan + y * w;
+      for (int64_t x = 0; x < w / 2; ++x) std::swap(row[x], row[w - 1 - x]);
+    }
+  }
+}
+
+void augment_batch(Batch& batch, const AugmentSpec& spec, Rng& rng) {
+  if (batch.size() == 0) return;
+  const int64_t c = batch.images.dim(1);
+  const int64_t h = batch.images.dim(2);
+  const int64_t w = batch.images.dim(3);
+  const int64_t sz = c * h * w;
+  for (int64_t i = 0; i < batch.size(); ++i) {
+    float* img = batch.images.data() + i * sz;
+    if (spec.max_shift > 0) {
+      const int dy = static_cast<int>(rng.uniform_int(2 * spec.max_shift + 1)) -
+                     spec.max_shift;
+      const int dx = static_cast<int>(rng.uniform_int(2 * spec.max_shift + 1)) -
+                     spec.max_shift;
+      shift_image(img, c, h, w, dy, dx, spec.pad_value);
+    }
+    if (spec.hflip && rng.bernoulli(0.5)) hflip_image(img, c, h, w);
+  }
+}
+
+}  // namespace cn::data

@@ -1,0 +1,29 @@
+// Training-time data augmentation (random shift and horizontal flip).
+//
+// Augmentation operates on batches in place, with an explicit RNG for
+// determinism. Digits are shift-only (flipping digits changes their class
+// semantics); object images use shift + flip.
+#pragma once
+
+#include "data/batcher.h"
+#include "tensor/rng.h"
+
+namespace cn::data {
+
+struct AugmentSpec {
+  int max_shift = 2;      // pixels, per axis, uniform in [-max_shift, max_shift]
+  bool hflip = true;      // random horizontal flip with p = 0.5
+  float pad_value = 0.0f; // fill for pixels shifted in from outside
+};
+
+/// Randomly shifts one image (C,H,W view) by (dy, dx), filling with pad_value.
+void shift_image(float* img, int64_t c, int64_t h, int64_t w, int dy, int dx,
+                 float pad_value);
+
+/// Flips one image horizontally in place.
+void hflip_image(float* img, int64_t c, int64_t h, int64_t w);
+
+/// Applies the augmentation spec to every image of the batch in place.
+void augment_batch(Batch& batch, const AugmentSpec& spec, Rng& rng);
+
+}  // namespace cn::data

@@ -1,0 +1,35 @@
+// In-memory labeled image dataset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cn::data {
+
+/// A labeled image set: images in NCHW, labels as class indices.
+struct Dataset {
+  Tensor images;            // (N, C, H, W)
+  std::vector<int> labels;  // N entries in [0, num_classes)
+  int num_classes = 0;
+
+  int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  int64_t channels() const { return images.dim(1); }
+  int64_t height() const { return images.dim(2); }
+  int64_t width() const { return images.dim(3); }
+
+  /// Copies one image into a (C,H,W)-shaped tensor.
+  Tensor image(int64_t i) const;
+
+  /// First n samples as a new dataset (for quick evaluation subsets).
+  Dataset head(int64_t n) const;
+};
+
+/// Train/test split produced by the generators.
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace cn::data

@@ -1,0 +1,38 @@
+#include "models/lenet.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+
+namespace cn::models {
+
+nn::Sequential lenet5(int64_t in_c, int64_t in_hw, int num_classes, Rng& rng) {
+  using namespace cn::nn;
+  Sequential m("lenet5");
+  const int64_t pad = (in_hw == 28) ? 2 : 0;
+  const int64_t hw1 = in_hw + 2 * pad - 4;  // after conv 5x5
+  if (hw1 % 2 != 0 || ((hw1 / 2) - 4) % 2 != 0)
+    throw std::invalid_argument("lenet5: unsupported input size");
+  m.emplace<Conv2D>(in_c, 6, 5, 1, pad, in_hw, in_hw, "conv1");
+  m.emplace<ReLU>("relu1");
+  m.emplace<AvgPool2D>(2, "pool1");
+  const int64_t hw2 = hw1 / 2;
+  m.emplace<Conv2D>(6, 16, 5, 1, 0, hw2, hw2, "conv2");
+  m.emplace<ReLU>("relu2");
+  m.emplace<AvgPool2D>(2, "pool2");
+  const int64_t hw3 = (hw2 - 4) / 2;
+  m.emplace<Flatten>("flatten");
+  m.emplace<Dense>(16 * hw3 * hw3, 120, "fc1");
+  m.emplace<ReLU>("relu3");
+  m.emplace<Dense>(120, 84, "fc2");
+  m.emplace<ReLU>("relu4");
+  m.emplace<Dense>(84, num_classes, "fc3");
+  init_model(m, rng);
+  return m;
+}
+
+}  // namespace cn::models

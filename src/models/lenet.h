@@ -1,0 +1,16 @@
+// LeNet-5 (LeCun et al. 1989), as used in the paper's evaluation.
+#pragma once
+
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace cn::models {
+
+/// Builds LeNet-5 for `in_c`×`in_hw`×`in_hw` inputs and `num_classes` outputs:
+/// conv(6,5x5) → ReLU → avgpool2 → conv(16,5x5) → ReLU → avgpool2 →
+/// flatten → fc120 → ReLU → fc84 → ReLU → fc(num_classes).
+/// Inputs of 28x28 are padded by the first conv (pad 2) so geometry matches
+/// the canonical 32x32 formulation.
+nn::Sequential lenet5(int64_t in_c, int64_t in_hw, int num_classes, Rng& rng);
+
+}  // namespace cn::models

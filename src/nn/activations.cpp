@@ -1,0 +1,64 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace cn::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) {
+    mask_ = Tensor(x.shape());
+    for (int64_t i = 0; i < y.size(); ++i) {
+      if (y[i] > 0.0f) {
+        mask_[i] = 1.0f;
+      } else {
+        y[i] = 0.0f;
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < y.size(); ++i)
+      if (y[i] < 0.0f) y[i] = 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor gx = grad_out;
+  for (int64_t i = 0; i < gx.size(); ++i) gx[i] *= mask_[i];
+  return gx;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(label_); }
+
+Tensor Tanh::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  for (int64_t i = 0; i < y.size(); ++i) y[i] = std::tanh(y[i]);
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor gx = grad_out;
+  for (int64_t i = 0; i < gx.size(); ++i) gx[i] *= 1.0f - y_cache_[i] * y_cache_[i];
+  return gx;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(label_); }
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) in_shape_ = x.shape();
+  else if (in_shape_.empty()) in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  auto c = std::make_unique<Flatten>(label_);
+  c->in_shape_ = in_shape_;
+  return c;
+}
+
+}  // namespace cn::nn

@@ -1,0 +1,108 @@
+#include "nn/activations_extra.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace cn::nn {
+
+Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) mask_ = Tensor(x.shape());
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] >= 0.0f) {
+      if (train) mask_[i] = 1.0f;
+    } else {
+      y[i] *= slope_;
+      if (train) mask_[i] = slope_;
+    }
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  Tensor gx = grad_out;
+  for (int64_t i = 0; i < gx.size(); ++i) gx[i] *= mask_[i];
+  return gx;
+}
+
+std::unique_ptr<Layer> LeakyReLU::clone() const {
+  return std::make_unique<LeakyReLU>(slope_, label_);
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  for (int64_t i = 0; i < y.size(); ++i) y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor gx = grad_out;
+  for (int64_t i = 0; i < gx.size(); ++i)
+    gx[i] *= y_cache_[i] * (1.0f - y_cache_[i]);
+  return gx;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const { return std::make_unique<Sigmoid>(label_); }
+
+Tensor Softmax::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2) throw std::invalid_argument(label_ + ": expected rank-2 logits");
+  Tensor y = softmax_rows(x);
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  const int64_t N = y_cache_.dim(0), C = y_cache_.dim(1);
+  Tensor gx(y_cache_.shape());
+  for (int64_t n = 0; n < N; ++n) {
+    const float* y = y_cache_.data() + n * C;
+    const float* g = grad_out.data() + n * C;
+    double dotp = 0.0;
+    for (int64_t c = 0; c < C; ++c) dotp += static_cast<double>(g[c]) * y[c];
+    float* out = gx.data() + n * C;
+    for (int64_t c = 0; c < C; ++c)
+      out[c] = y[c] * (g[c] - static_cast<float>(dotp));
+  }
+  return gx;
+}
+
+std::unique_ptr<Layer> Softmax::clone() const { return std::make_unique<Softmax>(label_); }
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4) throw std::invalid_argument(label_ + ": expected NCHW");
+  if (train) in_shape_ = x.shape();
+  else in_shape_ = x.shape();
+  const int64_t N = x.dim(0), C = x.dim(1), HW = x.dim(2) * x.dim(3);
+  Tensor y({N, C});
+  const float inv = 1.0f / static_cast<float>(HW);
+  for (int64_t n = 0; n < N; ++n)
+    for (int64_t c = 0; c < C; ++c) {
+      const float* chan = x.data() + (n * C + c) * HW;
+      double acc = 0.0;
+      for (int64_t i = 0; i < HW; ++i) acc += chan[i];
+      y[n * C + c] = static_cast<float>(acc) * inv;
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const int64_t N = in_shape_[0], C = in_shape_[1], HW = in_shape_[2] * in_shape_[3];
+  Tensor gx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(HW);
+  for (int64_t n = 0; n < N; ++n)
+    for (int64_t c = 0; c < C; ++c) {
+      const float g = grad_out[n * C + c] * inv;
+      float* chan = gx.data() + (n * C + c) * HW;
+      for (int64_t i = 0; i < HW; ++i) chan[i] = g;
+    }
+  return gx;
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(label_);
+}
+
+}  // namespace cn::nn

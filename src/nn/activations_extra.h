@@ -1,0 +1,69 @@
+// Additional pointwise activations: LeakyReLU, Sigmoid, and a Softmax layer.
+//
+// Note on Lipschitz properties (relevant to error suppression, §III-A):
+// ReLU, LeakyReLU (slope <= 1) and Sigmoid are all 1-Lipschitz, so none of
+// them amplifies propagated errors; swapping them for ReLU preserves the
+// suppression bound of Eq. (5).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace cn::nn {
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01f, std::string label = "leaky_relu")
+      : slope_(slope) {
+    label_ = std::move(label);
+  }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "leaky_relu"; }
+  float slope() const { return slope_; }
+
+ private:
+  float slope_;
+  Tensor mask_;  // per-element applied slope (1 or slope_)
+};
+
+class Sigmoid final : public Layer {
+ public:
+  explicit Sigmoid(std::string label = "sigmoid") { label_ = std::move(label); }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "sigmoid"; }
+
+ private:
+  Tensor y_cache_;
+};
+
+/// Row-wise softmax as a layer (for models that need probabilities inline;
+/// training normally uses the fused SoftmaxCrossEntropy loss instead).
+class Softmax final : public Layer {
+ public:
+  explicit Softmax(std::string label = "softmax") { label_ = std::move(label); }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "softmax"; }
+
+ private:
+  Tensor y_cache_;
+};
+
+/// Global average pooling (N,C,H,W) -> (N,C).
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string label = "gap") { label_ = std::move(label); }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "global_avgpool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace cn::nn

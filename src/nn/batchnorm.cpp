@@ -1,0 +1,113 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cn::nn {
+
+BatchNorm2D::BatchNorm2D(int64_t channels, float momentum, float eps,
+                         std::string label)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Shape{channels}, label + ".gamma"),
+      beta_(Shape{channels}, label + ".beta"),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  label_ = std::move(label);
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm2D::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4 || x.dim(1) != channels_)
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
+  const int64_t N = x.dim(0), C = channels_, H = x.dim(2), W = x.dim(3);
+  const int64_t per_c = N * H * W;
+  Tensor y(x.shape());
+  if (train) {
+    in_shape_ = x.shape();
+    x_hat_ = Tensor(x.shape());
+    batch_inv_std_ = Tensor({C});
+  }
+  for (int64_t c = 0; c < C; ++c) {
+    double mean = 0.0, var = 0.0;
+    if (train) {
+      for (int64_t n = 0; n < N; ++n) {
+        const float* chan = x.data() + (n * C + c) * H * W;
+        for (int64_t i = 0; i < H * W; ++i) mean += chan[i];
+      }
+      mean /= per_c;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* chan = x.data() + (n * C + c) * H * W;
+        for (int64_t i = 0; i < H * W; ++i) {
+          const double d = chan[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= per_c;
+      running_mean_[c] = momentum_ * running_mean_[c] + (1.0f - momentum_) * static_cast<float>(mean);
+      running_var_[c] = momentum_ * running_var_[c] + (1.0f - momentum_) * static_cast<float>(var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    if (train) batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c], m = static_cast<float>(mean);
+    for (int64_t n = 0; n < N; ++n) {
+      const float* chan = x.data() + (n * C + c) * H * W;
+      float* out = y.data() + (n * C + c) * H * W;
+      float* xh = train ? x_hat_.data() + (n * C + c) * H * W : nullptr;
+      for (int64_t i = 0; i < H * W; ++i) {
+        const float h = (chan[i] - m) * inv_std;
+        if (xh) xh[i] = h;
+        out[i] = g * h + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& grad_out) {
+  if (x_hat_.empty()) throw std::logic_error(label_ + ": backward without forward");
+  const int64_t N = in_shape_[0], C = channels_, H = in_shape_[2], W = in_shape_[3];
+  const int64_t per_c = N * H * W;
+  Tensor gx(in_shape_);
+  for (int64_t c = 0; c < C; ++c) {
+    // Accumulate dgamma, dbeta and the two reduction terms.
+    double dg = 0.0, db = 0.0;
+    for (int64_t n = 0; n < N; ++n) {
+      const float* g = grad_out.data() + (n * C + c) * H * W;
+      const float* xh = x_hat_.data() + (n * C + c) * H * W;
+      for (int64_t i = 0; i < H * W; ++i) {
+        dg += static_cast<double>(g[i]) * xh[i];
+        db += g[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dg);
+    beta_.grad[c] += static_cast<float>(db);
+    const float gam = gamma_.value[c];
+    const float inv_std = batch_inv_std_[c];
+    const float mean_dy = static_cast<float>(db / per_c);
+    const float mean_dy_xhat = static_cast<float>(dg / per_c);
+    for (int64_t n = 0; n < N; ++n) {
+      const float* g = grad_out.data() + (n * C + c) * H * W;
+      const float* xh = x_hat_.data() + (n * C + c) * H * W;
+      float* out = gx.data() + (n * C + c) * H * W;
+      for (int64_t i = 0; i < H * W; ++i)
+        out[i] = gam * inv_std * (g[i] - mean_dy - xh[i] * mean_dy_xhat);
+    }
+  }
+  return gx;
+}
+
+std::unique_ptr<Layer> BatchNorm2D::clone() const {
+  auto c = std::make_unique<BatchNorm2D>(channels_, momentum_, eps_, label_);
+  c->gamma_ = gamma_;
+  c->beta_ = beta_;
+  c->running_mean_ = running_mean_;
+  c->running_var_ = running_var_;
+  return c;
+}
+
+}  // namespace cn::nn

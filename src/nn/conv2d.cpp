@@ -1,0 +1,155 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "tensor/threadpool.h"
+
+namespace cn::nn {
+
+Conv2D::Conv2D(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
+               int64_t pad, int64_t in_h, int64_t in_w, std::string label)
+    : out_c_(out_c),
+      w_(Shape{out_c, in_c * kernel * kernel}, label + ".w"),
+      b_(Shape{out_c}, label + ".b") {
+  geom_ = ConvGeom{in_c, in_h, in_w, kernel, kernel, stride, pad};
+  label_ = std::move(label);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool train) {
+  const int64_t N = x.dim(0);
+  if (x.rank() != 4 || x.dim(1) != geom_.in_c || x.dim(2) != geom_.in_h ||
+      x.dim(3) != geom_.in_w)
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
+  if (train) x_cache_ = x;
+
+  const int64_t OH = geom_.out_h(), OW = geom_.out_w();
+  const int64_t K2 = geom_.in_c * geom_.k_h * geom_.k_w;
+  const int64_t img_in = geom_.in_c * geom_.in_h * geom_.in_w;
+  const int64_t img_out = out_c_ * OH * OW;
+  Tensor y({N, out_c_, OH, OW});
+  // Refresh the effective weight so nominal-weight edits between forwards
+  // (optimizer steps, tests) are always reflected.
+  if (var_active_) w_eff_ = mul(w_.value, factors_);
+  const Tensor& W = effective_weight();
+  const float* pw = W.data();
+  const float* pb = b_.value.data();
+
+  parallel_for(0, N, [&](int64_t lo, int64_t hi) {
+    std::vector<float> cols(static_cast<size_t>(K2 * OH * OW));
+    for (int64_t n = lo; n < hi; ++n) {
+      im2col(x.data() + n * img_in, geom_, cols.data());
+      float* out = y.data() + n * img_out;
+      // out(out_c, OH*OW) = W(out_c, K2) * cols(K2, OH*OW)
+      const int64_t M = out_c_, Kd = K2, Nd = OH * OW;
+      for (int64_t i = 0; i < M; ++i) {
+        float* orow = out + i * Nd;
+        const float bi = pb[i];
+        for (int64_t j = 0; j < Nd; ++j) orow[j] = bi;
+        const float* wrow = pw + i * Kd;
+        for (int64_t k = 0; k < Kd; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          const float* crow = cols.data() + k * Nd;
+          for (int64_t j = 0; j < Nd; ++j) orow[j] += wv * crow[j];
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  if (x_cache_.empty())
+    throw std::logic_error(label_ + ": backward without cached forward");
+  const int64_t N = x_cache_.dim(0);
+  const int64_t OH = geom_.out_h(), OW = geom_.out_w();
+  const int64_t K2 = geom_.in_c * geom_.k_h * geom_.k_w;
+  const int64_t img_in = geom_.in_c * geom_.in_h * geom_.in_w;
+  const int64_t img_out = out_c_ * OH * OW;
+  const int64_t Nd = OH * OW;
+
+  Tensor dx(x_cache_.shape());
+  const Tensor& W = effective_weight();
+  const float* pw = W.data();
+
+  // Per-thread gradient accumulators, reduced at the end.
+  const unsigned T = ThreadPool::global().size();
+  std::vector<Tensor> dw_acc(T, Tensor(w_.value.shape()));
+  std::vector<Tensor> db_acc(T, Tensor(b_.value.shape()));
+  std::atomic<unsigned> tid_counter{0};
+
+  parallel_for(0, N, [&](int64_t lo, int64_t hi) {
+    const unsigned tid = tid_counter.fetch_add(1) % T;
+    float* dw = dw_acc[tid].data();
+    float* db = db_acc[tid].data();
+    std::vector<float> cols(static_cast<size_t>(K2 * Nd));
+    std::vector<float> dcols(static_cast<size_t>(K2 * Nd));
+    for (int64_t n = lo; n < hi; ++n) {
+      im2col(x_cache_.data() + n * img_in, geom_, cols.data());
+      const float* gout = grad_out.data() + n * img_out;
+      // dW += gout(out_c, Nd) * cols^T(Nd, K2)
+      for (int64_t i = 0; i < out_c_; ++i) {
+        const float* grow = gout + i * Nd;
+        float* dwrow = dw + i * K2;
+        double bsum = 0.0;
+        for (int64_t j = 0; j < Nd; ++j) bsum += grow[j];
+        db[i] += static_cast<float>(bsum);
+        for (int64_t k = 0; k < K2; ++k) {
+          const float* crow = cols.data() + k * Nd;
+          double acc = 0.0;
+          for (int64_t j = 0; j < Nd; ++j) acc += static_cast<double>(grow[j]) * crow[j];
+          dwrow[k] += static_cast<float>(acc);
+        }
+      }
+      // dcols = W^T(K2, out_c) * gout(out_c, Nd)
+      std::fill(dcols.begin(), dcols.end(), 0.0f);
+      for (int64_t i = 0; i < out_c_; ++i) {
+        const float* grow = gout + i * Nd;
+        const float* wrow = pw + i * K2;
+        for (int64_t k = 0; k < K2; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          float* drow = dcols.data() + k * Nd;
+          for (int64_t j = 0; j < Nd; ++j) drow[j] += wv * grow[j];
+        }
+      }
+      col2im(dcols.data(), geom_, dx.data() + n * img_in);
+    }
+  });
+
+  for (unsigned t = 0; t < T; ++t) {
+    // dw_acc holds dL/dW_eff; with variation active W_eff = W ∘ f,
+    // so chain dL/dW = dL/dW_eff ∘ f.
+    if (var_active_) mul_inplace(dw_acc[t], factors_);
+    add_inplace(w_.grad, dw_acc[t]);
+    add_inplace(b_.grad, db_acc[t]);
+  }
+  return dx;
+}
+
+void Conv2D::set_weight_factors(const Tensor& f) {
+  if (!f.same_shape(w_.value))
+    throw std::invalid_argument(label_ + ": factor shape mismatch");
+  w_eff_ = mul(w_.value, f);
+  factors_ = f;
+  var_active_ = true;
+}
+
+void Conv2D::clear_weight_factors() {
+  var_active_ = false;
+  w_eff_ = Tensor();
+  factors_ = Tensor();
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto c = std::make_unique<Conv2D>(geom_.in_c, out_c_, geom_.k_h, geom_.stride,
+                                    geom_.pad, geom_.in_h, geom_.in_w, label_);
+  c->w_ = w_;
+  c->b_ = b_;
+  c->w_eff_ = w_eff_;
+  c->factors_ = factors_;
+  c->var_active_ = var_active_;
+  return c;
+}
+
+}  // namespace cn::nn

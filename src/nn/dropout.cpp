@@ -1,0 +1,38 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace cn::nn {
+
+Dropout::Dropout(float p, uint64_t seed, std::string label)
+    : p_(p), rng_(seed), seed_(seed) {
+  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("Dropout: p must be in [0,1)");
+  label_ = std::move(label);
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) return x;
+  mask_ = Tensor(x.shape());
+  const float keep = 1.0f - p_;
+  const float inv_keep = 1.0f / keep;
+  Tensor y = x;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    const float m = rng_.bernoulli(keep) ? inv_keep : 0.0f;
+    mask_[i] = m;
+    y[i] *= m;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  Tensor gx = grad_out;
+  for (int64_t i = 0; i < gx.size(); ++i) gx[i] *= mask_[i];
+  return gx;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, seed_, label_);
+}
+
+}  // namespace cn::nn

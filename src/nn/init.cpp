@@ -1,0 +1,41 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace cn::nn {
+
+void he_normal(Tensor& w, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng.fill_normal(w, 0.0f, stddev);
+}
+
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(w, -limit, limit);
+}
+
+void scaled_rows(Tensor& w, float gain, Rng& rng) {
+  rng.fill_normal(w, 0.0f, 1.0f);
+  const int64_t rows = w.dim(0);
+  const int64_t cols = w.size() / rows;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = w.data() + r * cols;
+    double norm = 0.0;
+    for (int64_t c = 0; c < cols; ++c) norm += static_cast<double>(row[c]) * row[c];
+    const float s = gain / static_cast<float>(std::sqrt(norm) + 1e-12);
+    for (int64_t c = 0; c < cols; ++c) row[c] *= s;
+  }
+}
+
+void init_model(Sequential& model, Rng& rng) {
+  for (Param* p : model.params()) {
+    if (p->value.rank() >= 2) {
+      // Weight matrix: (fan_out, fan_in) after conv flattening.
+      he_normal(p->value, p->value.size() / p->value.dim(0), rng);
+    } else {
+      p->value.zero();
+    }
+  }
+}
+
+}  // namespace cn::nn

@@ -1,0 +1,24 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace cn::nn {
+
+/// He (Kaiming) normal init for a weight matrix shaped (fan_out, fan_in...).
+void he_normal(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform init.
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Orthogonal-ish init: He normal followed by row normalization to `gain`.
+/// A cheap stand-in for true orthogonal init that pairs well with the
+/// Lipschitz regularizer (rows start near the target norm).
+void scaled_rows(Tensor& w, float gain, Rng& rng);
+
+/// Initializes every Dense/Conv2D weight in the model with He normal and
+/// zeroes the biases. Layers are discovered via params() naming convention.
+void init_model(Sequential& model, Rng& rng);
+
+}  // namespace cn::nn

@@ -1,0 +1,78 @@
+// Layer interface for the feed-forward NN stack.
+//
+// Layers own their parameters and the activation caches needed by backward.
+// The model is a Sequential of Layers; composite layers (e.g. CorrectNet's
+// CompensatedConv2D) nest further layers and recurse in params()/analog
+// traversal.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cn::nn {
+
+/// Interface to a weight tensor that is physically realized on an analog
+/// crossbar and therefore subject to programming variation (paper Eq. 1-2).
+///
+/// The Monte-Carlo evaluator perturbs every site of a model via
+/// `set_weight_factors` (w_eff = w ∘ f, f = e^θ) and restores with
+/// `clear_weight_factors`. Digital layers (compensation blocks) are simply
+/// never registered as sites.
+class PerturbableWeight {
+ public:
+  virtual ~PerturbableWeight() = default;
+  /// The trained nominal weight tensor.
+  virtual const Tensor& nominal_weight() const = 0;
+  /// Applies multiplicative factors f (same shape as the weight).
+  virtual void set_weight_factors(const Tensor& f) = 0;
+  /// Restores the nominal weight.
+  virtual void clear_weight_factors() = 0;
+  /// Number of weight scalars at this site.
+  virtual int64_t weight_count() const = 0;
+  /// Owning-layer label, for reports.
+  virtual const std::string& site_label() const = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output; `train` enables training-only behaviour
+  /// (dropout, batch-norm batch statistics) and activation caching.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be preceded by forward(x, /*train=*/true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// All parameters, recursively for composite layers.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Analog weight sites, recursively, in execution order.
+  virtual void collect_analog(std::vector<PerturbableWeight*>&) {}
+
+  /// Deep copy (parameters included, caches not required to be preserved).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Short type tag, e.g. "conv2d".
+  virtual std::string kind() const = 0;
+
+  /// Instance label, e.g. "conv3_1".
+  const std::string& label() const { return label_; }
+  void set_label(std::string l) { label_ = std::move(l); }
+
+  /// True if the layer carries weights that would sit on an analog crossbar.
+  virtual bool is_analog() const { return false; }
+
+ protected:
+  std::string label_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace cn::nn

@@ -1,0 +1,53 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace cn::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<int>& labels,
+                                   Tensor* grad) const {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits must be rank-2");
+  const int64_t N = logits.dim(0), C = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != N)
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+
+  Tensor probs = softmax_rows(logits);
+  double loss = 0.0;
+  for (int64_t n = 0; n < N; ++n) {
+    const int y = labels[static_cast<size_t>(n)];
+    if (y < 0 || y >= C) throw std::invalid_argument("SoftmaxCrossEntropy: bad label");
+    loss -= std::log(std::max(1e-12f, probs[n * C + y]));
+  }
+  if (grad) {
+    *grad = probs;
+    const float inv_n = 1.0f / static_cast<float>(N);
+    for (int64_t n = 0; n < N; ++n) {
+      (*grad)[n * C + labels[static_cast<size_t>(n)]] -= 1.0f;
+    }
+    scale_inplace(*grad, inv_n);
+  }
+  return static_cast<float>(loss / static_cast<double>(N));
+}
+
+float MeanSquaredError::forward(const Tensor& pred, const Tensor& target,
+                                Tensor* grad) const {
+  if (!pred.same_shape(target))
+    throw std::invalid_argument("MeanSquaredError: shape mismatch");
+  const int64_t n = pred.size();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    loss += d * d;
+  }
+  if (grad) {
+    *grad = sub(pred, target);
+    scale_inplace(*grad, 2.0f / static_cast<float>(n));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+}  // namespace cn::nn

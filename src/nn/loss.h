@@ -1,0 +1,28 @@
+// Loss functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cn::nn {
+
+/// Fused softmax + cross-entropy.
+///
+/// forward() returns the mean loss over the batch and, if `grad` is non-null,
+/// writes dL/dlogits (already divided by batch size) into it.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (N, C); labels: N class indices in [0, C).
+  float forward(const Tensor& logits, const std::vector<int>& labels,
+                Tensor* grad = nullptr) const;
+};
+
+/// Mean squared error (used by tests and the RL value baseline).
+class MeanSquaredError {
+ public:
+  float forward(const Tensor& pred, const Tensor& target, Tensor* grad = nullptr) const;
+};
+
+}  // namespace cn::nn

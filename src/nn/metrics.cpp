@@ -1,0 +1,37 @@
+#include "nn/metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cn::nn {
+
+float accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  const int64_t n = logits.dim(0);
+  if (n == 0) return 0.0f;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i)
+    if (argmax_row(logits, i) == labels[static_cast<size_t>(i)]) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cn::nn

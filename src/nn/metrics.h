@@ -1,0 +1,32 @@
+// Evaluation metrics.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace cn::nn {
+
+/// Fraction of rows of `logits` whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Simple running mean/std accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace cn::nn

@@ -1,0 +1,63 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace cn::nn {
+
+void SGD::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& vel = it->second;
+    float* v = vel.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->size(); ++i) {
+      v[i] = momentum_ * v[i] + g[i];
+      w[i] -= lr_ * (v[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    auto [mit, mi] = m_.try_emplace(p, p->value.shape());
+    auto [vit, vi] = v_.try_emplace(p, p->value.shape());
+    float* m = mit->second.data();
+    float* v = vit->second.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[i]);
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {
+  double total = 0.0;
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->size(); ++i) total += static_cast<double>(g[i]) * g[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (Param* p : params) {
+      if (!p->trainable) continue;
+      float* g = p->grad.data();
+      for (int64_t i = 0; i < p->size(); ++i) g[i] *= s;
+    }
+  }
+  return norm;
+}
+
+}  // namespace cn::nn

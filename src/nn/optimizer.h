@@ -1,0 +1,62 @@
+// First-order optimizers. State is keyed by Param pointer; optimizers are
+// created per training run and must not outlive the model they train.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace cn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update to every trainable param and leaves grads intact
+  /// (call zero_grad separately so regularizers can inspect gradients).
+  virtual void step(const std::vector<Param*>& params) = 0;
+
+  static void zero_grad(const std::vector<Param*>& params) {
+    for (Param* p : params) p->zero_grad();
+  }
+};
+
+/// SGD with momentum and decoupled weight decay.
+class SGD final : public Optimizer {
+ public:
+  explicit SGD(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<Param*>& params) override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::unordered_map<Param*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with decoupled weight decay (AdamW-style).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<Param*>& params) override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<Param*, Tensor> m_, v_;
+};
+
+/// Clips the global L2 norm of all trainable gradients to `max_norm`.
+/// Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace cn::nn

@@ -1,0 +1,29 @@
+// Trainable parameter: value + gradient + trainable flag.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace cn::nn {
+
+/// A learnable tensor with its gradient accumulator.
+///
+/// `trainable == false` freezes the parameter: optimizers skip it and layers
+/// still compute input gradients through it (needed when training
+/// compensation blocks on top of a frozen, perturbed base network).
+struct Param {
+  Param() = default;
+  explicit Param(Shape shape, std::string name_ = "")
+      : value(shape), grad(shape), name(std::move(name_)) {}
+
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+  std::string name;
+
+  void zero_grad() { grad.zero(); }
+  int64_t size() const { return value.size(); }
+};
+
+}  // namespace cn::nn

@@ -1,0 +1,48 @@
+// Max and average pooling layers (NCHW).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace cn::nn {
+
+/// Max pooling with square window == stride (the only form VGG/LeNet need).
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(int64_t window, std::string label = "maxpool")
+      : window_(window) {
+    label_ = std::move(label);
+  }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "maxpool"; }
+
+ private:
+  int64_t window_;
+  Shape in_shape_;
+  std::vector<int64_t> argmax_;  // flat input index of each pooled max
+};
+
+/// Average pooling with square window == stride.
+/// Also used standalone by the compensation generator to shrink input maps
+/// so they concatenate with the output maps (paper Fig. 5).
+class AvgPool2D final : public Layer {
+ public:
+  AvgPool2D(int64_t window, std::string label = "avgpool")
+      : window_(window) {
+    label_ = std::move(label);
+  }
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+  std::string kind() const override { return "avgpool"; }
+
+  int64_t window() const { return window_; }
+
+ private:
+  int64_t window_;
+  Shape in_shape_;
+};
+
+}  // namespace cn::nn

@@ -1,0 +1,132 @@
+#include "rl/policy.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cn::rl {
+
+RnnPolicy::RnnPolicy(int64_t steps, int64_t actions, int64_t hidden, uint64_t seed)
+    : steps_(steps),
+      actions_(actions),
+      hidden_(hidden),
+      wx_(Shape{hidden, actions}, "policy.wx"),
+      wh_(Shape{hidden, hidden}, "policy.wh"),
+      bh_(Shape{hidden}, "policy.bh"),
+      wo_(Shape{actions, hidden}, "policy.wo"),
+      bo_(Shape{actions}, "policy.bo") {
+  Rng rng(seed);
+  const float sx = 1.0f / std::sqrt(static_cast<float>(actions));
+  const float sh = 1.0f / std::sqrt(static_cast<float>(hidden));
+  rng.fill_normal(wx_.value, 0.0f, sx);
+  rng.fill_normal(wh_.value, 0.0f, sh * 0.5f);
+  rng.fill_normal(wo_.value, 0.0f, sh);
+}
+
+Tensor RnnPolicy::step_forward(const Tensor& x, Tensor& h) const {
+  Tensor pre = matvec(wx_.value, x);
+  add_inplace(pre, matvec(wh_.value, h));
+  add_inplace(pre, bh_.value);
+  for (int64_t i = 0; i < pre.size(); ++i) pre[i] = std::tanh(pre[i]);
+  h = pre;
+  Tensor logits = matvec(wo_.value, h);
+  add_inplace(logits, bo_.value);
+  return softmax_rows(logits.reshaped({1, actions_})).reshaped({actions_});
+}
+
+RnnPolicy::Episode RnnPolicy::sample(Rng& rng) const {
+  Episode ep;
+  Tensor h({hidden_});
+  Tensor x({actions_});
+  for (int64_t t = 0; t < steps_; ++t) {
+    Tensor probs = step_forward(x, h);
+    // Categorical sample.
+    double u = rng.uniform();
+    int a = static_cast<int>(actions_) - 1;
+    double cum = 0.0;
+    for (int64_t i = 0; i < actions_; ++i) {
+      cum += probs[i];
+      if (u <= cum) {
+        a = static_cast<int>(i);
+        break;
+      }
+    }
+    ep.actions.push_back(a);
+    ep.log_prob += std::log(std::max(1e-12f, probs[a]));
+    ep.h.push_back(h);
+    ep.probs.push_back(probs);
+    x.zero();
+    x[a] = 1.0f;
+  }
+  return ep;
+}
+
+std::vector<int> RnnPolicy::greedy() const {
+  std::vector<int> actions;
+  Tensor h({hidden_});
+  Tensor x({actions_});
+  for (int64_t t = 0; t < steps_; ++t) {
+    Tensor probs = step_forward(x, h);
+    int a = 0;
+    for (int64_t i = 1; i < actions_; ++i)
+      if (probs[i] > probs[a]) a = static_cast<int>(i);
+    actions.push_back(a);
+    x.zero();
+    x[a] = 1.0f;
+  }
+  return actions;
+}
+
+void RnnPolicy::accumulate_grad(const Episode& ep, float advantage,
+                                float entropy_coef) {
+  // dh carried backwards through time.
+  Tensor dh({hidden_});
+  for (int64_t t = steps_ - 1; t >= 0; --t) {
+    const Tensor& probs = ep.probs[static_cast<size_t>(t)];
+    const Tensor& h = ep.h[static_cast<size_t>(t)];
+    const int a = ep.actions[static_cast<size_t>(t)];
+    // d(-adv·logp)/dlogits = adv·(p - onehot(a));
+    // d(-c·H)/dlogits = c·p∘(logp + H)  (entropy gradient).
+    Tensor dlogits = probs;
+    scale_inplace(dlogits, advantage);
+    dlogits[a] -= advantage;
+    if (entropy_coef > 0.0f) {
+      double H = 0.0;
+      for (int64_t i = 0; i < probs.size(); ++i)
+        H -= probs[i] * std::log(std::max(1e-12f, probs[i]));
+      for (int64_t i = 0; i < probs.size(); ++i)
+        dlogits[i] += entropy_coef * probs[i] *
+                      (std::log(std::max(1e-12f, probs[i])) + static_cast<float>(H));
+    }
+    // wo, bo grads: dlogits ⊗ h.
+    for (int64_t i = 0; i < actions_; ++i) {
+      bo_.grad[i] += dlogits[i];
+      for (int64_t j = 0; j < hidden_; ++j)
+        wo_.grad[i * hidden_ + j] += dlogits[i] * h[j];
+    }
+    // into hidden: dh += Wo^T dlogits
+    add_inplace(dh, matvec_t(wo_.value, dlogits));
+    // through tanh.
+    Tensor dpre = dh;
+    for (int64_t i = 0; i < hidden_; ++i) dpre[i] *= 1.0f - h[i] * h[i];
+    // x_t = onehot(a_{t-1}) (zero at t=0); h_{t-1} from cache.
+    Tensor x({actions_});
+    if (t > 0) x[ep.actions[static_cast<size_t>(t - 1)]] = 1.0f;
+    const Tensor* hprev = (t > 0) ? &ep.h[static_cast<size_t>(t - 1)] : nullptr;
+    for (int64_t i = 0; i < hidden_; ++i) {
+      bh_.grad[i] += dpre[i];
+      for (int64_t j = 0; j < actions_; ++j)
+        wx_.grad[i * actions_ + j] += dpre[i] * x[j];
+      if (hprev) {
+        for (int64_t j = 0; j < hidden_; ++j)
+          wh_.grad[i * hidden_ + j] += dpre[i] * (*hprev)[j];
+      }
+    }
+    // dh for the previous step: Wh^T dpre.
+    dh = matvec_t(wh_.value, dpre);
+  }
+}
+
+std::vector<nn::Param*> RnnPolicy::params() { return {&wx_, &wh_, &bh_, &wo_, &bo_}; }
+
+}  // namespace cn::rl

@@ -1,0 +1,54 @@
+// RNN policy network for the compensation-placement search (paper Fig. 6).
+//
+// The agent emits one action per candidate layer: an index into a menu of
+// filter ratios (S_i = generator filters / original filters, with ratio 0
+// meaning "no compensation here"). The policy is a small Elman RNN whose
+// input at step t is the one-hot of the previous action, trained with
+// REINFORCE (see reinforce.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/rng.h"
+
+namespace cn::rl {
+
+class RnnPolicy {
+ public:
+  /// steps = number of candidate layers; actions = ratio-menu size.
+  RnnPolicy(int64_t steps, int64_t actions, int64_t hidden, uint64_t seed);
+
+  struct Episode {
+    std::vector<int> actions;            // one per step
+    float log_prob = 0.0f;               // Σ log π(a_t | s_t)
+    // caches for BPTT
+    std::vector<Tensor> h;               // hidden states, per step
+    std::vector<Tensor> probs;           // action distributions, per step
+  };
+
+  /// Samples an action sequence (stores caches for accumulate_grad).
+  Episode sample(Rng& rng) const;
+
+  /// Greedy (argmax) rollout — used to report the final chosen plan.
+  std::vector<int> greedy() const;
+
+  /// REINFORCE gradient for one episode: accumulates
+  /// d/dθ [ -advantage · log π(a|θ) − entropy_coef · H(π) ] into param grads.
+  void accumulate_grad(const Episode& ep, float advantage, float entropy_coef = 0.0f);
+
+  std::vector<nn::Param*> params();
+
+  int64_t steps() const { return steps_; }
+  int64_t actions() const { return actions_; }
+
+ private:
+  /// One forward step; returns probs and updates h in place.
+  Tensor step_forward(const Tensor& x, Tensor& h) const;
+
+  int64_t steps_, actions_, hidden_;
+  nn::Param wx_, wh_, bh_, wo_, bo_;
+};
+
+}  // namespace cn::rl

@@ -1,0 +1,39 @@
+#include "rl/reinforce.h"
+
+#include "nn/optimizer.h"
+
+namespace cn::rl {
+
+ReinforceOutcome run_reinforce(RnnPolicy& policy, const RewardFn& reward,
+                               const ReinforceConfig& cfg) {
+  Rng rng(cfg.seed);
+  nn::Adam opt(cfg.lr);
+  auto params = policy.params();
+  ReinforceOutcome out;
+  float baseline = 0.0f;
+  bool baseline_init = false;
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    RnnPolicy::Episode ep = policy.sample(rng);
+    const float r = reward(ep.actions);
+    out.reward_history.push_back(r);
+    if (r > out.best_reward) {
+      out.best_reward = r;
+      out.best_actions = ep.actions;
+    }
+    if (!baseline_init) {
+      baseline = r;
+      baseline_init = true;
+    }
+    const float advantage = r - baseline;
+    baseline = cfg.baseline_momentum * baseline + (1.0f - cfg.baseline_momentum) * r;
+
+    nn::Optimizer::zero_grad(params);
+    policy.accumulate_grad(ep, advantage, cfg.entropy_coef);
+    nn::clip_grad_norm(params, 5.0f);
+    opt.step(params);
+  }
+  return out;
+}
+
+}  // namespace cn::rl

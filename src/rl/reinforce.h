@@ -1,0 +1,33 @@
+// REINFORCE trainer for the placement policy.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/policy.h"
+
+namespace cn::rl {
+
+struct ReinforceConfig {
+  int iterations = 40;
+  float lr = 0.02f;
+  float baseline_momentum = 0.7f;  // EMA reward baseline
+  float entropy_coef = 0.01f;
+  uint64_t seed = 77;
+};
+
+/// Evaluates an action sequence, returning its reward.
+using RewardFn = std::function<float(const std::vector<int>&)>;
+
+struct ReinforceOutcome {
+  std::vector<int> best_actions;
+  float best_reward = -1e30f;
+  std::vector<float> reward_history;  // per iteration
+};
+
+/// Runs REINFORCE on `policy` against `reward`. Deterministic given the seed
+/// and a deterministic reward function.
+ReinforceOutcome run_reinforce(RnnPolicy& policy, const RewardFn& reward,
+                               const ReinforceConfig& cfg);
+
+}  // namespace cn::rl

@@ -1,0 +1,86 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+
+namespace cn {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 for seeding.
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::uniform_int(int64_t n) {
+  return n <= 0 ? 0 : static_cast<int64_t>(uniform() * static_cast<double>(n));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double a = 6.283185307179586476925286766559 * u2;
+  cached_normal_ = r * std::sin(a);
+  has_cached_normal_ = true;
+  return r * std::cos(a);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xD1B54A32D192ED03ull); }
+
+void Rng::fill_normal(Tensor& t, float mean, float stddev) {
+  for (int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(normal(mean, stddev));
+}
+
+void Rng::fill_uniform(Tensor& t, float lo, float hi) {
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(uniform(lo, hi));
+}
+
+void Rng::fill_lognormal_factor(Tensor& t, float sigma) {
+  for (int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(lognormal(0.0, sigma));
+}
+
+}  // namespace cn

@@ -1,0 +1,61 @@
+// Deterministic random number generation for the whole stack.
+//
+// Every stochastic component (weight init, dataset synthesis, variation
+// sampling, RL exploration) takes an explicit Rng so experiments are
+// reproducible bit-for-bit across runs given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cn {
+
+/// xoshiro256** generator: fast, high-quality, splittable via `fork`.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  int64_t uniform_int(int64_t n);
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Lognormal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// A statistically independent child generator (for per-thread streams).
+  Rng fork();
+
+  // Tensor fills.
+  void fill_normal(Tensor& t, float mean, float stddev);
+  void fill_uniform(Tensor& t, float lo, float hi);
+  /// Fills with exp(theta), theta ~ N(0, sigma^2) — the paper's Eq. (1)-(2).
+  void fill_lognormal_factor(Tensor& t, float sigma);
+
+  /// Fisher-Yates shuffle of an index array.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      int64_t j = uniform_int(i + 1);
+      std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(j)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cn

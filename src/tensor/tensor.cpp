@@ -1,0 +1,77 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cn {
+
+int64_t numel(const Shape& s) {
+  int64_t n = 1;
+  for (int64_t d : s) n *= d;
+  return n;
+}
+
+std::string to_string(const Shape& s) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<size_t>(numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<int64_t>(data_.size()) != numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + to_string(shape_));
+  }
+}
+
+Tensor Tensor::from(std::initializer_list<float> vals) {
+  return Tensor({static_cast<int64_t>(vals.size())}, std::vector<float>(vals));
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  if (i < 0) i += rank();
+  assert(i >= 0 && i < rank());
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  assert(rank() == 2 && r < dim(0) && c < dim(1));
+  return data_[static_cast<size_t>(r * dim(1) + c)];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  assert(rank() == 2 && r < dim(0) && c < dim(1));
+  return data_[static_cast<size_t>(r * dim(1) + c)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (numel(new_shape) != size()) {
+    throw std::invalid_argument("reshape: element count mismatch: " + to_string(shape_) +
+                                " -> " + to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+}  // namespace cn

@@ -1,0 +1,87 @@
+// Tensor: a minimal dense float tensor with value semantics.
+//
+// The CorrectNet reproduction deliberately avoids external ML frameworks; this
+// tensor is the substrate for the whole NN/analog stack. Design choices:
+//  - contiguous row-major float32 storage owned by the tensor (deep copies);
+//  - shapes are small vectors of int64_t; rank is typically 1..4;
+//  - all heavy math lives in free functions (ops.h) so the class stays small.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace cn {
+
+/// Shape of a tensor: dimension sizes, row-major (last index fastest).
+using Shape = std::vector<int64_t>;
+
+/// Number of elements a shape describes (product of dims; 1 for scalars).
+int64_t numel(const Shape& s);
+
+/// Human-readable form, e.g. "[2, 3, 4]".
+std::string to_string(const Shape& s);
+
+/// Dense row-major float tensor with owning, value-semantic storage.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, zero elements).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with every element set to `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor taking ownership of `data`; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// 1-D tensor from an explicit list of values.
+  static Tensor from(std::initializer_list<float> vals);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  /// Size of dimension i; negative i counts from the end (-1 = last).
+  int64_t dim(int64_t i) const;
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-D accessors (row-major). Debug-checked.
+  float& at(int64_t r, int64_t c);
+  float at(int64_t r, int64_t c) const;
+
+  /// Returns a copy with a new shape; element count must match.
+  Tensor reshaped(Shape new_shape) const;
+  /// In-place reshape; element count must match.
+  void reshape(Shape new_shape);
+
+  /// Deep copy (Tensor already copies deeply; provided for clarity at call sites).
+  Tensor clone() const { return *this; }
+
+  /// Sets every element to `v`.
+  void fill(float v);
+  /// Sets every element to zero.
+  void zero() { fill(0.0f); }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cn

@@ -1,0 +1,92 @@
+#include "tensor/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cn {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end,
+                              const std::function<void(int64_t, int64_t)>& fn,
+                              int64_t min_chunk) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t nthreads = static_cast<int64_t>(size());
+  // Small ranges: run inline, skip synchronization overhead.
+  if (n <= min_chunk || nthreads <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunks = std::min(nthreads, std::max<int64_t>(1, n / min_chunk));
+  const int64_t chunk = (n + chunks - 1) / chunks;
+
+  // Completion state guarded by done_mu: the decrement happens under the
+  // mutex so the waiter cannot observe zero (and destroy these stack
+  // objects) while a worker is still between decrement and notify.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;
+
+  int64_t launched = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t lo = begin + c * chunk;
+      const int64_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      ++launched;
+      tasks_.push([&, lo, hi] {
+        fn(lo, hi);
+        std::lock_guard<std::mutex> dlk(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    remaining = launched;
+  }
+  if (launched == 0) return;
+  cv_.notify_all();
+  std::unique_lock<std::mutex> dlk(done_mu);
+  done_cv.wait(dlk, [&] { return remaining == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t min_chunk) {
+  ThreadPool::global().parallel_for(begin, end, fn, min_chunk);
+}
+
+}  // namespace cn

@@ -1,0 +1,52 @@
+// A small fixed-size thread pool with a parallel_for primitive.
+//
+// Used for data-parallel work: blocked matmul rows, im2col batches, and
+// Monte-Carlo variation sampling (each sample evaluates a cloned model).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cn {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(begin..end) split into contiguous chunks across the pool,
+  /// blocking until all chunks finish. fn(lo, hi) processes [lo, hi).
+  void parallel_for(int64_t begin, int64_t end,
+                    const std::function<void(int64_t, int64_t)>& fn,
+                    int64_t min_chunk = 1);
+
+  /// Process-wide pool (sized once from hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t min_chunk = 1);
+
+}  // namespace cn

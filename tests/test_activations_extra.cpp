@@ -1,0 +1,120 @@
+#include "nn/activations_extra.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cn::nn {
+namespace {
+
+TEST(LeakyReLU, ForwardSlope) {
+  LeakyReLU l(0.1f);
+  Tensor y = l.forward(Tensor::from({-2, 0, 3}), false);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(LeakyReLU, BackwardSlope) {
+  LeakyReLU l(0.25f);
+  l.forward(Tensor::from({-1, 2}), true);
+  Tensor g = l.backward(Tensor::from({4, 4}));
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FLOAT_EQ(g[1], 4.0f);
+}
+
+TEST(Sigmoid, ForwardValues) {
+  Sigmoid s;
+  Tensor y = s.forward(Tensor::from({0.0f, 100.0f, -100.0f}), false);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6);
+}
+
+TEST(Sigmoid, GradCheck) {
+  Sigmoid s;
+  Rng rng(1);
+  Tensor x({10});
+  rng.fill_normal(x, 0.0f, 2.0f);
+  Tensor y = s.forward(x, true);
+  Tensor gx = s.backward(y);  // L = 0.5*||y||²
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    Sigmoid sp, sm;
+    const float lp = 0.5f * sum_sq(sp.forward(xp, false));
+    const float lm = 0.5f * sum_sq(sm.forward(xm, false));
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(SoftmaxLayer, RowsSumToOneAndGradIsOrthogonalToOnes) {
+  Softmax s;
+  Rng rng(2);
+  Tensor x({3, 5});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = s.forward(x, true);
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum_row = 0.0;
+    for (int64_t c = 0; c < 5; ++c) sum_row += y[r * 5 + c];
+    EXPECT_NEAR(sum_row, 1.0, 1e-5);
+  }
+  // d(softmax)/dx maps any grad to a vector orthogonal to the ones vector
+  // (softmax output stays on the simplex).
+  Tensor g({3, 5});
+  rng.fill_normal(g, 0.0f, 1.0f);
+  Tensor gx = s.backward(g);
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum_row = 0.0;
+    for (int64_t c = 0; c < 5; ++c) sum_row += gx[r * 5 + c];
+    EXPECT_NEAR(sum_row, 0.0, 1e-4);
+  }
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool g;
+  Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = g.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(GlobalAvgPool, BackwardDistributes) {
+  GlobalAvgPool g;
+  g.forward(Tensor({1, 1, 2, 2}), true);
+  Tensor gx = g.backward(Tensor({1, 1}, std::vector<float>{8.0f}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+// Property: all provided activations are 1-Lipschitz (|f(a)-f(b)| <= |a-b|),
+// the requirement for not amplifying propagated errors (paper §III-A).
+class OneLipschitz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OneLipschitz, ActivationDoesNotExpand) {
+  Rng rng(42 + static_cast<uint64_t>(GetParam()));
+  std::unique_ptr<Layer> act;
+  switch (GetParam()) {
+    case 0: act = std::make_unique<LeakyReLU>(0.2f); break;
+    case 1: act = std::make_unique<Sigmoid>(); break;
+    default: act = std::make_unique<LeakyReLU>(0.9f); break;
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor a({8}), b({8});
+    rng.fill_normal(a, 0.0f, 2.0f);
+    rng.fill_normal(b, 0.0f, 2.0f);
+    Tensor fa = act->forward(a, false);
+    Tensor fb = act->forward(b, false);
+    EXPECT_LE(l2_norm(sub(fa, fb)), l2_norm(sub(a, b)) + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, OneLipschitz, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace cn::nn

@@ -1,0 +1,101 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace cn::data {
+namespace {
+
+TEST(ShiftImage, MovesPixels) {
+  Tensor img({1, 3, 3}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  shift_image(img.data(), 1, 3, 3, 1, 0, 0.0f);  // down by 1
+  EXPECT_FLOAT_EQ(img[0], 0.0f);  // padded row
+  EXPECT_FLOAT_EQ(img[3], 1.0f);  // old row 0
+  EXPECT_FLOAT_EQ(img[8], 6.0f);
+}
+
+TEST(ShiftImage, ZeroShiftIsIdentity) {
+  Tensor img({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  shift_image(img.data(), 1, 2, 2, 0, 0, 9.0f);
+  EXPECT_FLOAT_EQ(img[0], 1.0f);
+  EXPECT_FLOAT_EQ(img[3], 4.0f);
+}
+
+TEST(ShiftImage, CustomPadValue) {
+  Tensor img({1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  shift_image(img.data(), 1, 2, 2, 0, 1, -5.0f);  // right by 1
+  EXPECT_FLOAT_EQ(img[0], -5.0f);
+  EXPECT_FLOAT_EQ(img[1], 1.0f);
+}
+
+TEST(HflipImage, MirrorsRows) {
+  Tensor img({1, 2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  hflip_image(img.data(), 1, 2, 3);
+  EXPECT_FLOAT_EQ(img[0], 3.0f);
+  EXPECT_FLOAT_EQ(img[2], 1.0f);
+  EXPECT_FLOAT_EQ(img[3], 6.0f);
+}
+
+TEST(HflipImage, DoubleFlipIsIdentity) {
+  Rng rng(1);
+  Tensor img({3, 4, 5});
+  rng.fill_normal(img, 0.0f, 1.0f);
+  Tensor orig = img;
+  hflip_image(img.data(), 3, 4, 5);
+  hflip_image(img.data(), 3, 4, 5);
+  for (int64_t i = 0; i < img.size(); ++i) EXPECT_FLOAT_EQ(img[i], orig[i]);
+}
+
+TEST(AugmentBatch, PreservesShapeAndLabels) {
+  DigitsSpec spec;
+  spec.train_count = 20;
+  spec.test_count = 5;
+  SplitDataset ds = make_digits(spec);
+  Batcher b(ds.train, 20);
+  Batch batch = b.get(0);
+  auto labels = batch.labels;
+  AugmentSpec aug;
+  aug.max_shift = 2;
+  aug.hflip = false;
+  Rng rng(2);
+  augment_batch(batch, aug, rng);
+  EXPECT_EQ(batch.images.shape(), (Shape{20, 1, 28, 28}));
+  EXPECT_EQ(batch.labels, labels);
+}
+
+TEST(AugmentBatch, DeterministicGivenSeed) {
+  DigitsSpec spec;
+  spec.train_count = 8;
+  spec.test_count = 2;
+  SplitDataset ds = make_digits(spec);
+  Batcher b(ds.train, 8);
+  Batch b1 = b.get(0);
+  Batch b2 = b.get(0);
+  AugmentSpec aug;
+  Rng r1(7), r2(7);
+  augment_batch(b1, aug, r1);
+  augment_batch(b2, aug, r2);
+  for (int64_t i = 0; i < b1.images.size(); ++i)
+    ASSERT_FLOAT_EQ(b1.images[i], b2.images[i]);
+}
+
+TEST(AugmentBatch, NoopSpecLeavesPixels) {
+  DigitsSpec spec;
+  spec.train_count = 4;
+  spec.test_count = 2;
+  SplitDataset ds = make_digits(spec);
+  Batcher b(ds.train, 4);
+  Batch batch = b.get(0);
+  Tensor before = batch.images;
+  AugmentSpec aug;
+  aug.max_shift = 0;
+  aug.hflip = false;
+  Rng rng(3);
+  augment_batch(batch, aug, rng);
+  for (int64_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(batch.images[i], before[i]);
+}
+
+}  // namespace
+}  // namespace cn::data

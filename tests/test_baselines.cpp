@@ -1,0 +1,172 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "tensor/ops.h"
+
+namespace cn::core {
+namespace {
+
+struct BaselineFixture {
+  data::SplitDataset ds;
+  nn::Sequential model{"m"};
+
+  BaselineFixture() {
+    data::DigitsSpec spec;
+    spec.train_count = 500;
+    spec.test_count = 150;
+    ds = data::make_digits(spec);
+    Rng rng(1);
+    model = models::lenet5(1, 28, 10, rng);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    train(model, ds.train, ds.test, cfg);
+  }
+};
+
+BaselineFixture& fixture() {
+  static BaselineFixture f;
+  return f;
+}
+
+TEST(ProtectionMasks, FractionRespected) {
+  auto& f = fixture();
+  Rng rng(2);
+  auto masks = protection_masks(f.model, 0.25, /*topk=*/true, rng);
+  ASSERT_EQ(masks.size(), f.model.analog_sites().size());
+  auto sites = f.model.analog_sites();
+  for (size_t i = 0; i < masks.size(); ++i) {
+    const int64_t n = masks[i].size();
+    int64_t prot = 0;
+    for (int64_t j = 0; j < n; ++j)
+      if (masks[i][j] != 0.0f) ++prot;
+    EXPECT_NEAR(static_cast<double>(prot) / n, 0.25, 0.51 / n + 1e-9);
+  }
+}
+
+TEST(ProtectionMasks, TopkSelectsLargestMagnitudes) {
+  auto& f = fixture();
+  Rng rng(3);
+  auto masks = protection_masks(f.model, 0.1, /*topk=*/true, rng);
+  auto sites = f.model.analog_sites();
+  for (size_t i = 0; i < masks.size(); ++i) {
+    const Tensor& w = sites[i]->nominal_weight();
+    float min_protected = 1e30f, max_unprotected = 0.0f;
+    for (int64_t j = 0; j < w.size(); ++j) {
+      const float a = std::fabs(w[j]);
+      if (masks[i][j] != 0.0f) min_protected = std::min(min_protected, a);
+      else max_unprotected = std::max(max_unprotected, a);
+    }
+    EXPECT_GE(min_protected, max_unprotected - 1e-6f);
+  }
+}
+
+TEST(ProtectionMasks, ZeroFractionProtectsNothing) {
+  auto& f = fixture();
+  Rng rng(4);
+  auto masks = protection_masks(f.model, 0.0, true, rng);
+  for (const Tensor& m : masks) EXPECT_FLOAT_EQ(sum(m), 0.0f);
+}
+
+TEST(ProtectedEval, FullProtectionEqualsClean) {
+  auto& f = fixture();
+  Rng rng(5);
+  auto masks = protection_masks(f.model, 1.0, true, rng);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions mc;
+  mc.samples = 3;
+  McResult r = mc_accuracy_protected(f.model, f.ds.test, vm, masks, mc);
+  EXPECT_NEAR(r.mean, evaluate(f.model, f.ds.test), 1e-6);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-9);
+}
+
+TEST(ProtectedEval, MoreProtectionHelps) {
+  auto& f = fixture();
+  Rng rng(6);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions mc;
+  mc.samples = 8;
+  auto none = protection_masks(f.model, 0.0, true, rng);
+  auto half = protection_masks(f.model, 0.5, true, rng);
+  McResult r0 = mc_accuracy_protected(f.model, f.ds.test, vm, none, mc);
+  McResult r50 = mc_accuracy_protected(f.model, f.ds.test, vm, half, mc);
+  EXPECT_GT(r50.mean, r0.mean);
+}
+
+TEST(ProtectedEval, TopkBeatsRandomAtSameBudget) {
+  auto& f = fixture();
+  Rng rng(7);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions mc;
+  mc.samples = 10;
+  auto topk = protection_masks(f.model, 0.2, true, rng);
+  auto rnd = protection_masks(f.model, 0.2, false, rng);
+  McResult rt = mc_accuracy_protected(f.model, f.ds.test, vm, topk, mc);
+  McResult rr = mc_accuracy_protected(f.model, f.ds.test, vm, rnd, mc);
+  // Important-weight protection should not lose badly to random protection.
+  EXPECT_GT(rt.mean, rr.mean - 0.05);
+}
+
+TEST(OnlineRetrain, ImprovesOverStaticProtection) {
+  auto& f = fixture();
+  Rng rng(8);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  auto masks = protection_masks(f.model, 0.2, false, rng);
+  McOptions mc;
+  mc.samples = 3;
+  McResult stat = mc_accuracy_protected(f.model, f.ds.test, vm, masks, mc);
+  OnlineRetrainOptions online;
+  online.steps = 20;
+  McResult onl =
+      mc_accuracy_protected_online(f.model, f.ds.train, f.ds.test, vm, masks, mc, online);
+  EXPECT_GT(onl.mean, stat.mean - 0.03);
+}
+
+TEST(OnlineRetrain, DoesNotMutateInputModel) {
+  auto& f = fixture();
+  Rng rng(9);
+  const float before = evaluate(f.model, f.ds.test);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  auto masks = protection_masks(f.model, 0.1, true, rng);
+  McOptions mc;
+  mc.samples = 2;
+  OnlineRetrainOptions online;
+  online.steps = 5;
+  mc_accuracy_protected_online(f.model, f.ds.train, f.ds.test, vm, masks, mc, online);
+  EXPECT_FLOAT_EQ(evaluate(f.model, f.ds.test), before);
+}
+
+TEST(VariationAwareTraining, BeatsPlainTrainingUnderVariations) {
+  data::DigitsSpec spec;
+  spec.train_count = 500;
+  spec.test_count = 150;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(10);
+  nn::Sequential init = models::lenet5(1, 28, 10, rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  cfg.variation = vm;
+
+  nn::Sequential plain = init.clone_model();
+  TrainConfig pcfg = cfg;
+  pcfg.variation_in_loop = false;
+  train(plain, ds.train, ds.test, pcfg);
+
+  nn::Sequential aware = train_variation_aware(init, ds.train, ds.test, cfg);
+
+  McOptions mc;
+  mc.samples = 10;
+  McResult rp = mc_accuracy(plain, ds.test, vm, mc);
+  McResult ra = mc_accuracy(aware, ds.test, vm, mc);
+  EXPECT_GT(ra.mean, rp.mean - 0.02);
+}
+
+}  // namespace
+}  // namespace cn::core

@@ -1,0 +1,122 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cn::nn {
+namespace {
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(1);
+  BatchNorm2D bn(3);
+  Tensor x({4, 3, 5, 5});
+  rng.fill_normal(x, 2.0f, 3.0f);
+  Tensor y = bn.forward(x, true);
+  // Per channel: mean ~0, var ~1 (gamma=1, beta=0 initially).
+  const int64_t per_c = 4 * 5 * 5;
+  for (int64_t c = 0; c < 3; ++c) {
+    double m = 0.0, v = 0.0;
+    for (int64_t n = 0; n < 4; ++n) {
+      const float* chan = y.data() + (n * 3 + c) * 25;
+      for (int64_t i = 0; i < 25; ++i) m += chan[i];
+    }
+    m /= per_c;
+    for (int64_t n = 0; n < 4; ++n) {
+      const float* chan = y.data() + (n * 3 + c) * 25;
+      for (int64_t i = 0; i < 25; ++i) v += (chan[i] - m) * (chan[i] - m);
+    }
+    v /= per_c;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  Rng rng(2);
+  BatchNorm2D bn(2, /*momentum=*/0.0f);  // running stats = last batch
+  Tensor x({8, 2, 4, 4});
+  rng.fill_normal(x, 1.0f, 2.0f);
+  Tensor y_train = bn.forward(x, true);
+  Tensor y_eval = bn.forward(x, false);
+  // With momentum 0 the running stats equal the batch stats (up to the
+  // biased/unbiased distinction we don't make), so outputs nearly agree.
+  for (int64_t i = 0; i < y_train.size(); i += 7)
+    EXPECT_NEAR(y_eval[i], y_train[i], 0.05f);
+}
+
+TEST(BatchNorm, GammaBetaAffine) {
+  BatchNorm2D bn(1);
+  bn.gamma().value[0] = 2.0f;
+  bn.beta().value[0] = -1.0f;
+  Rng rng(3);
+  Tensor x({4, 1, 3, 3});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = bn.forward(x, true);
+  // y = 2*x_hat - 1: mean ~ -1.
+  EXPECT_NEAR(mean(y), -1.0f, 1e-4f);
+}
+
+TEST(BatchNorm, GradCheck) {
+  Rng rng(4);
+  BatchNorm2D bn(2);
+  rng.fill_normal(bn.gamma().value, 1.0f, 0.1f);
+  rng.fill_normal(bn.beta().value, 0.0f, 0.1f);
+  Tensor x({3, 2, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+
+  auto loss_of = [&](const Tensor& in) {
+    BatchNorm2D probe(2);
+    probe.gamma().value = bn.gamma().value;
+    probe.beta().value = bn.beta().value;
+    Tensor y = probe.forward(in, true);
+    return 0.5f * sum_sq(y);
+  };
+
+  for (Param* p : bn.params()) p->zero_grad();
+  Tensor y = bn.forward(x, true);
+  Tensor gx = bn.backward(y);  // dL/dy = y for L = 0.5*||y||^2
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.size(); i += 11) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = loss_of(x);
+    x[i] = orig - eps;
+    const float lm = loss_of(x);
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * eps), 3e-2f) << "input index " << i;
+  }
+}
+
+TEST(BatchNorm, HasNoAnalogSites) {
+  BatchNorm2D bn(4);
+  std::vector<PerturbableWeight*> sites;
+  bn.collect_analog(sites);
+  EXPECT_TRUE(sites.empty());  // digital periphery: never perturbed
+}
+
+TEST(BatchNorm, CloneCarriesRunningStats) {
+  Rng rng(5);
+  BatchNorm2D bn(2);
+  Tensor x({4, 2, 3, 3});
+  rng.fill_normal(x, 3.0f, 1.0f);
+  bn.forward(x, true);
+  auto c = bn.clone();
+  auto* bc = static_cast<BatchNorm2D*>(c.get());
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(bc->running_mean()[i], bn.running_mean()[i]);
+    EXPECT_FLOAT_EQ(bc->running_var()[i], bn.running_var()[i]);
+  }
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  BatchNorm2D bn(3);
+  EXPECT_THROW(bn.forward(Tensor({1, 4, 2, 2}), true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cn::nn

@@ -1,0 +1,218 @@
+#include "core/compensation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/montecarlo.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace cn::core {
+namespace {
+
+TEST(AdaptiveAvgPool, IntegerRatioMatchesPlainPool) {
+  Rng rng(1);
+  Tensor x({2, 3, 8, 8});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = adaptive_avgpool(x, 4, 4);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 4}));
+  // Each output = mean of a 2x2 block.
+  const float expect = (x[0] + x[1] + x[8] + x[9]) / 4.0f;
+  EXPECT_NEAR(y[0], expect, 1e-5f);
+}
+
+TEST(AdaptiveAvgPool, NonIntegerRatioPreservesMean) {
+  Rng rng(2);
+  Tensor x({1, 1, 14, 14});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = adaptive_avgpool(x, 10, 10);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 10, 10}));
+  // Identity case: out == in.
+  Tensor z = adaptive_avgpool(x, 14, 14);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(z[i], x[i]);
+}
+
+TEST(AdaptiveAvgPool, BackwardIsAdjoint) {
+  // <pool(x), g> == <x, pool_backward(g)>.
+  Rng rng(3);
+  Tensor x({1, 2, 7, 7});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y = adaptive_avgpool(x, 5, 5);
+  Tensor g(y.shape());
+  rng.fill_normal(g, 0.0f, 1.0f);
+  Tensor gx = adaptive_avgpool_backward(g, 7, 7);
+  EXPECT_NEAR(dot(y, g), dot(x, gx), 1e-3f);
+}
+
+TEST(ConcatSplit, RoundTrip) {
+  Rng rng(4);
+  Tensor a({2, 3, 4, 4}), b({2, 5, 4, 4});
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 8, 4, 4}));
+  Tensor ga, gb;
+  split_channels(c, 3, ga, gb);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(ga[i], a[i]);
+  for (int64_t i = 0; i < b.size(); ++i) EXPECT_FLOAT_EQ(gb[i], b[i]);
+}
+
+TEST(ConcatChannels, RejectsMismatchedSpatial) {
+  EXPECT_THROW(concat_channels(Tensor({1, 1, 4, 4}), Tensor({1, 1, 5, 5})),
+               std::invalid_argument);
+}
+
+TEST(CompensatedConv, IdentityInitIsNoop) {
+  // Untrained compensation must not change the base layer's output.
+  Rng rng(5);
+  auto base = std::make_unique<nn::Conv2D>(3, 6, 3, 1, 1, 8, 8, "c");
+  nn::he_normal(base->weight().value, 27, rng);
+  nn::Sequential ref("ref");
+  ref.add(base->clone());
+  CompensatedConv2D cc(std::move(base), 3, rng);
+
+  Tensor x({2, 3, 8, 8});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y_base = ref.forward(x, false);
+  Tensor y_comp = cc.forward(x, false);
+  ASSERT_EQ(y_base.shape(), y_comp.shape());
+  for (int64_t i = 0; i < y_base.size(); ++i)
+    EXPECT_NEAR(y_comp[i], y_base[i], 0.15f);  // identity + small noise taps
+}
+
+TEST(CompensatedConv, OnlyBaseIsAnalog) {
+  Rng rng(6);
+  auto base = std::make_unique<nn::Conv2D>(2, 4, 3, 1, 1, 6, 6, "c");
+  CompensatedConv2D cc(std::move(base), 2, rng);
+  std::vector<nn::PerturbableWeight*> sites;
+  cc.collect_analog(sites);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0]->site_label(), "c");
+}
+
+TEST(CompensatedConv, WeightCountMatchesFormula) {
+  // generator: m filters of 1x1x(l+n) + m biases;
+  // compensator: n filters of 1x1x(n+m) + n biases.
+  Rng rng(7);
+  const int64_t l = 3, n = 6, m = 2;
+  auto base = std::make_unique<nn::Conv2D>(l, n, 3, 1, 1, 8, 8, "c");
+  CompensatedConv2D cc(std::move(base), m, rng);
+  EXPECT_EQ(cc.compensation_weight_count(), m * (l + n) + m + n * (n + m) + n);
+}
+
+TEST(AttachCompensation, ReplacesConvInPlace) {
+  data::DigitsSpec spec;
+  spec.train_count = 50;
+  spec.test_count = 10;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(8);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  const int64_t before_params = m.num_params();
+  attach_compensation(m, 0, 3, rng);
+  EXPECT_EQ(m.layer(0).kind(), "compensated_conv2d");
+  EXPECT_GT(m.num_params(), before_params);
+  // Still forward-compatible.
+  Tensor y = m.forward(ds.test.images, false);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(AttachCompensation, RejectsNonConvLayer) {
+  Rng rng(9);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  EXPECT_THROW(attach_compensation(m, 1, 3, rng), std::invalid_argument);  // ReLU
+}
+
+TEST(WithCompensation, LeavesOriginalUntouched) {
+  Rng rng(10);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  CompensationPlan plan;
+  plan.entries.emplace_back(0, 2);
+  nn::Sequential c = with_compensation(m, plan, rng);
+  EXPECT_EQ(m.layer(0).kind(), "conv2d");
+  EXPECT_EQ(c.layer(0).kind(), "compensated_conv2d");
+}
+
+TEST(ConvLayerIndices, FindsLeNetConvs) {
+  Rng rng(11);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  auto idx = conv_layer_indices(m);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(m.layer(idx[1]).kind(), "conv2d");
+}
+
+TEST(Overhead, ZeroWithoutCompensation) {
+  Rng rng(12);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  EXPECT_DOUBLE_EQ(compensation_overhead(m), 0.0);
+}
+
+TEST(Overhead, MatchesManualRatio) {
+  Rng rng(13);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  const int64_t orig = m.num_params();
+  CompensationPlan plan;
+  plan.entries.emplace_back(0, 3);
+  nn::Sequential c = with_compensation(m, plan, rng);
+  auto* cc = dynamic_cast<CompensatedConv2D*>(&c.layer(0));
+  ASSERT_NE(cc, nullptr);
+  const double expect = static_cast<double>(cc->compensation_weight_count()) / orig;
+  EXPECT_NEAR(compensation_overhead(c), expect, 1e-12);
+}
+
+TEST(TrainCompensation, FreezesBaseAndImproves) {
+  data::DigitsSpec spec;
+  spec.train_count = 600;
+  spec.test_count = 150;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(14);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  train(m, ds.train, ds.test, cfg);
+
+  CompensationPlan plan;
+  plan.entries.emplace_back(0, 3);
+  plan.entries.emplace_back(3, 8);
+  nn::Sequential c = with_compensation(m, plan, rng);
+  auto* cc0 = dynamic_cast<CompensatedConv2D*>(&c.layer(0));
+  const Tensor base_w_before = cc0->base().weight().value;
+
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  TrainConfig ccfg;
+  ccfg.epochs = 2;
+  ccfg.lr = 2e-3f;
+  ccfg.variation = vm;
+  train_compensation(c, ds.train, ds.test, ccfg);
+
+  // Base conv untouched by compensation training.
+  for (int64_t i = 0; i < base_w_before.size(); ++i)
+    EXPECT_FLOAT_EQ(cc0->base().weight().value[i], base_w_before[i]);
+
+  // Under variations, the compensated model beats the raw one.
+  McOptions mc;
+  mc.samples = 8;
+  McResult raw = mc_accuracy(m, ds.test, vm, mc);
+  McResult comp = mc_accuracy(c, ds.test, vm, mc);
+  EXPECT_GT(comp.mean, raw.mean - 0.02);
+}
+
+TEST(CompensatedConv, CloneIsDeepAndEquivalent) {
+  Rng rng(15);
+  auto base = std::make_unique<nn::Conv2D>(2, 4, 3, 1, 1, 6, 6, "c");
+  nn::he_normal(base->weight().value, 18, rng);
+  CompensatedConv2D cc(std::move(base), 2, rng);
+  auto clone = cc.clone();
+  Tensor x({1, 2, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y1 = cc.forward(x, false);
+  Tensor y2 = clone->forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+}  // namespace
+}  // namespace cn::core

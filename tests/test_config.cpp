@@ -1,0 +1,35 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace cn::core {
+namespace {
+
+TEST(RuntimeConfig, SingletonIsStable) {
+  const RuntimeConfig& a = RuntimeConfig::get();
+  const RuntimeConfig& b = RuntimeConfig::get();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RuntimeConfig, DefaultsAreSane) {
+  const RuntimeConfig& c = RuntimeConfig::get();
+  EXPECT_GE(c.mc_samples, 1);
+  EXPECT_GT(c.epoch_scale, 0.0);
+  EXPECT_GE(c.train_cap, 1);
+  EXPECT_GE(c.test_cap, 1);
+}
+
+TEST(RuntimeConfig, EpochScalingNeverBelowOne) {
+  RuntimeConfig c;
+  c.epoch_scale = 0.01;
+  EXPECT_EQ(c.epochs(5), 1);
+  c.epoch_scale = 1.0;
+  EXPECT_EQ(c.epochs(5), 5);
+  c.epoch_scale = 2.0;
+  EXPECT_EQ(c.epochs(5), 10);
+  c.epoch_scale = 0.5;
+  EXPECT_EQ(c.epochs(5), 3);  // rounds to nearest
+}
+
+}  // namespace
+}  // namespace cn::core

@@ -1,0 +1,127 @@
+// Crossbar-backed execution of whole models, and the equivalence between the
+// device-level substrate and the fast factor-injection path.
+#include "analog/crossbar_layers.h"
+
+#include <gtest/gtest.h>
+
+#include "core/montecarlo.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "tensor/ops.h"
+
+namespace cn::analog {
+namespace {
+
+RramDeviceParams ideal() {
+  RramDeviceParams dev;
+  dev.g_min = 1e-6f;
+  dev.g_max = 1e-4f;
+  return dev;
+}
+
+TEST(CrossbarDense, IdealMatchesDigitalLayer) {
+  Rng rng(1);
+  nn::Dense d(6, 4, "fc");
+  rng.fill_normal(d.weight().value, 0.0f, 0.5f);
+  rng.fill_normal(d.bias().value, 0.0f, 0.2f);
+  Rng prog(2);
+  CrossbarDense xd(d, ideal(), prog);
+  Tensor x({3, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y_ref = d.forward(x, false);
+  Tensor y_xbar = xd.forward(x, false);
+  for (int64_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y_xbar[i], y_ref[i], 1e-3f);
+}
+
+TEST(CrossbarConv2D, IdealMatchesDigitalLayer) {
+  Rng rng(3);
+  nn::Conv2D c(2, 4, 3, 1, 1, 6, 6, "conv");
+  rng.fill_normal(c.weight().value, 0.0f, 0.4f);
+  rng.fill_normal(c.bias().value, 0.0f, 0.1f);
+  Rng prog(4);
+  CrossbarConv2D xc(c, ideal(), prog);
+  Tensor x({2, 2, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y_ref = c.forward(x, false);
+  Tensor y_xbar = xc.forward(x, false);
+  ASSERT_EQ(y_ref.shape(), y_xbar.shape());
+  for (int64_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y_xbar[i], y_ref[i], 2e-3f);
+}
+
+TEST(CrossbarLayers, BackwardThrows) {
+  Rng rng(5);
+  nn::Dense d(2, 2, "fc");
+  Rng prog(6);
+  CrossbarDense xd(d, ideal(), prog);
+  xd.forward(Tensor({1, 2}), false);
+  EXPECT_THROW(xd.backward(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(ProgramToCrossbars, WholeModelIdealAccuracyMatches) {
+  data::DigitsSpec spec;
+  spec.train_count = 400;
+  spec.test_count = 60;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(7);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  core::train(m, ds.train, ds.test, cfg);
+
+  Rng prog(8);
+  nn::Sequential xm = program_to_crossbars(m, ideal(), prog);
+  const float acc_ref = core::evaluate(m, ds.test);
+  const float acc_xbar = core::evaluate(xm, ds.test, /*batch=*/20);
+  EXPECT_NEAR(acc_xbar, acc_ref, 1e-6f);
+}
+
+TEST(ProgramToCrossbars, VariationDegradesLikeFactorModel) {
+  // The device-level programming variation and the layer-level factor model
+  // must produce accuracy drops of the same order at matched sigma.
+  data::DigitsSpec spec;
+  spec.train_count = 400;
+  spec.test_count = 60;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(9);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  core::train(m, ds.train, ds.test, cfg);
+
+  const float sigma = 0.4f;
+  // Factor path (paper Eq. 1-2), a few chips.
+  VariationModel vm{VariationKind::kLognormal, sigma};
+  core::McOptions mc;
+  mc.samples = 4;
+  core::McResult factor = core::mc_accuracy(m, ds.test, vm, mc);
+  // Device path, a few programmed chips.
+  RramDeviceParams dev = ideal();
+  dev.program_sigma = sigma;
+  double dev_acc = 0.0;
+  for (int chip = 0; chip < 4; ++chip) {
+    Rng prog(100 + static_cast<uint64_t>(chip));
+    nn::Sequential xm = program_to_crossbars(m, dev, prog);
+    dev_acc += core::evaluate(xm, ds.test, 20);
+  }
+  dev_acc /= 4.0;
+  // Same ballpark (both well below clean, within 20 points of each other).
+  const float clean = core::evaluate(m, ds.test);
+  EXPECT_LT(dev_acc, clean);
+  EXPECT_LT(factor.mean, clean);
+  EXPECT_NEAR(dev_acc, factor.mean, 0.25);
+}
+
+TEST(ProgramToCrossbars, NonAnalogLayersPreserved) {
+  Rng rng(11);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  Rng prog(12);
+  nn::Sequential xm = program_to_crossbars(m, ideal(), prog);
+  ASSERT_EQ(xm.num_layers(), m.num_layers());
+  EXPECT_EQ(xm.layer(0).kind(), "crossbar_conv2d");
+  EXPECT_EQ(xm.layer(1).kind(), "relu");
+  EXPECT_EQ(xm.layer(7).kind(), "crossbar_dense");
+}
+
+}  // namespace
+}  // namespace cn::analog

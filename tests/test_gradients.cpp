@@ -1,0 +1,226 @@
+// Numerical gradient checks: the backbone correctness tests for the NN stack.
+//
+// For a scalar loss L(model(x)) we compare analytic parameter/input gradients
+// against central finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "core/compensation.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace cn::nn {
+namespace {
+
+// Sum-of-outputs-squared loss: L = 0.5 * Σ y², dL/dy = y.
+float loss_and_grad(Layer& layer, const Tensor& x, Tensor* dx) {
+  Tensor y = layer.forward(x, true);
+  float loss = 0.5f * sum_sq(y);
+  Tensor g = y;  // dL/dy = y
+  Tensor gx = layer.backward(g);
+  if (dx) *dx = gx;
+  return loss;
+}
+
+float loss_only(Layer& layer, const Tensor& x) {
+  Tensor y = layer.forward(x, false);
+  return 0.5f * sum_sq(y);
+}
+
+// Checks dL/dtheta for every param plus dL/dx numerically.
+void check_layer_gradients(Layer& layer, Tensor x, float tol = 2e-2f) {
+  for (Param* p : layer.params()) p->zero_grad();
+  Tensor dx;
+  loss_and_grad(layer, x, &dx);
+
+  const float eps = 1e-2f;
+  // Parameter gradients (probe a bounded number of entries).
+  for (Param* p : layer.params()) {
+    const int64_t stride = std::max<int64_t>(1, p->size() / 17);
+    for (int64_t i = 0; i < p->size(); i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = loss_only(layer, x);
+      p->value[i] = orig - eps;
+      const float lm = loss_only(layer, x);
+      p->value[i] = orig;
+      const float num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0f, std::fabs(num)))
+          << "param " << p->name << " index " << i;
+    }
+  }
+  // Input gradients.
+  const int64_t stride = std::max<int64_t>(1, x.size() / 13);
+  for (int64_t i = 0; i < x.size(); i += stride) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = loss_only(layer, x);
+    x[i] = orig - eps;
+    const float lm = loss_only(layer, x);
+    x[i] = orig;
+    const float num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx[i], num, tol * std::max(1.0f, std::fabs(num))) << "input index " << i;
+  }
+}
+
+TEST(GradCheck, Dense) {
+  Rng rng(1);
+  Dense d(5, 4, "fc");
+  rng.fill_normal(d.weight().value, 0.0f, 0.5f);
+  rng.fill_normal(d.bias().value, 0.0f, 0.1f);
+  Tensor x({3, 5});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(d, x);
+}
+
+TEST(GradCheck, DenseWithVariationFactors) {
+  // Gradients must flow through the *perturbed* operator.
+  Rng rng(2);
+  Dense d(4, 3, "fc");
+  rng.fill_normal(d.weight().value, 0.0f, 0.5f);
+  Tensor f(d.weight().value.shape());
+  rng.fill_lognormal_factor(f, 0.4f);
+  d.set_weight_factors(f);
+  Tensor x({2, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+
+  for (Param* p : d.params()) p->zero_grad();
+  Tensor dx;
+  loss_and_grad(d, x, &dx);
+  // Input gradient check only: the factor multiplies the weight, so dL/dx
+  // must match finite differences of the perturbed forward.
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = loss_only(d, x);
+    x[i] = orig - eps;
+    const float lm = loss_only(d, x);
+    x[i] = orig;
+    EXPECT_NEAR(dx[i], (lp - lm) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(GradCheck, Conv2D) {
+  Rng rng(3);
+  Conv2D c(2, 3, 3, 1, 1, 5, 5, "conv");
+  rng.fill_normal(c.weight().value, 0.0f, 0.3f);
+  rng.fill_normal(c.bias().value, 0.0f, 0.1f);
+  Tensor x({2, 2, 5, 5});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(c, x);
+}
+
+TEST(GradCheck, Conv2DStride2) {
+  Rng rng(4);
+  Conv2D c(1, 2, 3, 2, 1, 6, 6, "conv");
+  rng.fill_normal(c.weight().value, 0.0f, 0.3f);
+  Tensor x({1, 1, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(c, x);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(5);
+  MaxPool2D p(2);
+  Tensor x({2, 2, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(p, x);
+}
+
+TEST(GradCheck, AvgPool) {
+  Rng rng(6);
+  AvgPool2D p(2);
+  Tensor x({2, 3, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(p, x);
+}
+
+TEST(GradCheck, SmallMlp) {
+  Rng rng(7);
+  Sequential m("mlp");
+  auto& d1 = m.emplace<Dense>(4, 6, "d1");
+  m.emplace<ReLU>();
+  auto& d2 = m.emplace<Dense>(6, 3, "d2");
+  rng.fill_normal(d1.weight().value, 0.0f, 0.5f);
+  rng.fill_normal(d2.weight().value, 0.0f, 0.5f);
+  Tensor x({2, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(m, x);
+}
+
+TEST(GradCheck, CompensatedConv2D) {
+  Rng rng(8);
+  auto base = std::make_unique<Conv2D>(2, 3, 3, 1, 1, 6, 6, "base");
+  rng.fill_normal(base->weight().value, 0.0f, 0.3f);
+  core::CompensatedConv2D cc(std::move(base), 2, rng);
+  Tensor x({2, 2, 6, 6});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(cc, x, 3e-2f);
+}
+
+TEST(GradCheck, CompensatedConvWithPerturbedBase) {
+  // The compensation-training configuration: base perturbed + frozen,
+  // gradients still correct for generator/compensator and inputs.
+  Rng rng(9);
+  auto base = std::make_unique<Conv2D>(1, 2, 3, 1, 1, 4, 4, "base");
+  rng.fill_normal(base->weight().value, 0.0f, 0.4f);
+  Tensor f(base->weight().value.shape());
+  rng.fill_lognormal_factor(f, 0.5f);
+  base->set_weight_factors(f);
+  core::CompensatedConv2D cc(std::move(base), 1, rng);
+  Tensor x({1, 1, 4, 4});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  check_layer_gradients(cc, x, 3e-2f);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(10);
+  Tensor logits({3, 5});
+  rng.fill_normal(logits, 0.0f, 1.0f);
+  std::vector<int> labels{1, 4, 0};
+  SoftmaxCrossEntropy ce;
+  Tensor grad;
+  ce.forward(logits, labels, &grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = ce.forward(logits, labels);
+    logits[i] = orig - eps;
+    const float lm = ce.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(GradCheck, MeanSquaredError) {
+  Rng rng(11);
+  Tensor pred({4}), target({4});
+  rng.fill_normal(pred, 0.0f, 1.0f);
+  rng.fill_normal(target, 0.0f, 1.0f);
+  MeanSquaredError mse;
+  Tensor grad;
+  mse.forward(pred, target, &grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < 4; ++i) {
+    const float orig = pred[i];
+    pred[i] = orig + eps;
+    const float lp = mse.forward(pred, target);
+    pred[i] = orig - eps;
+    const float lm = mse.forward(pred, target);
+    pred[i] = orig;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace cn::nn

@@ -1,0 +1,106 @@
+#include "core/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "core/trainer.h"
+
+namespace cn::core {
+namespace {
+
+// Shared tiny trained model + dataset for the MC tests.
+struct Fixture {
+  data::SplitDataset ds;
+  nn::Sequential model{"m"};
+
+  Fixture() {
+    data::DigitsSpec spec;
+    spec.train_count = 600;
+    spec.test_count = 200;
+    ds = data::make_digits(spec);
+    Rng rng(1);
+    model = models::lenet5(1, 28, 10, rng);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    train(model, ds.train, ds.test, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(MonteCarlo, ZeroSigmaMatchesCleanAccuracy) {
+  auto& f = fixture();
+  const float clean = evaluate(f.model, f.ds.test);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.0f};
+  McOptions opts;
+  opts.samples = 3;
+  McResult r = mc_accuracy(f.model, f.ds.test, vm, opts);
+  EXPECT_NEAR(r.mean, clean, 1e-6);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-9);
+}
+
+TEST(MonteCarlo, AccuracyDegradesWithSigma) {
+  auto& f = fixture();
+  McOptions opts;
+  opts.samples = 8;
+  analog::VariationModel lo{analog::VariationKind::kLognormal, 0.1f};
+  analog::VariationModel hi{analog::VariationKind::kLognormal, 0.6f};
+  McResult rlo = mc_accuracy(f.model, f.ds.test, lo, opts);
+  McResult rhi = mc_accuracy(f.model, f.ds.test, hi, opts);
+  EXPECT_GT(rlo.mean, rhi.mean);
+}
+
+TEST(MonteCarlo, DoesNotMutateCallerModel) {
+  auto& f = fixture();
+  const float before = evaluate(f.model, f.ds.test);
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions opts;
+  opts.samples = 3;
+  mc_accuracy(f.model, f.ds.test, vm, opts);
+  EXPECT_FLOAT_EQ(evaluate(f.model, f.ds.test), before);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.4f};
+  McOptions opts;
+  opts.samples = 4;
+  opts.seed = 123;
+  McResult a = mc_accuracy(f.model, f.ds.test, vm, opts);
+  McResult b = mc_accuracy(f.model, f.ds.test, vm, opts);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+}
+
+TEST(MonteCarlo, SampleCountRespected) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.3f};
+  McOptions opts;
+  opts.samples = 7;
+  McResult r = mc_accuracy(f.model, f.ds.test, vm, opts);
+  EXPECT_EQ(r.samples.size(), 7u);
+  EXPECT_GE(r.max, r.mean);
+  EXPECT_LE(r.min, r.mean);
+}
+
+TEST(MonteCarlo, FirstSiteSkipsEarlyLayers) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions all;
+  all.samples = 8;
+  McOptions late;
+  late.samples = 8;
+  late.first_site = 4;  // only the last FC perturbed
+  McResult r_all = mc_accuracy(f.model, f.ds.test, vm, all);
+  McResult r_late = mc_accuracy(f.model, f.ds.test, vm, late);
+  // Perturbing fewer (and later) layers hurts less.
+  EXPECT_GT(r_late.mean, r_all.mean);
+}
+
+}  // namespace
+}  // namespace cn::core

@@ -1,0 +1,60 @@
+// End-to-end pipeline integration test on a small LeNet/digits workload.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/lenet.h"
+
+namespace cn::core {
+namespace {
+
+TEST(Pipeline, FullRunRecoversAccuracy) {
+  data::DigitsSpec spec;
+  spec.train_count = 800;
+  spec.test_count = 200;
+  data::SplitDataset ds = data::make_digits(spec);
+
+  PipelineConfig cfg;
+  cfg.name = "test";
+  cfg.sigma = 0.5f;
+  cfg.base_train.epochs = 3;
+  cfg.lipschitz_train.epochs = 3;
+  cfg.lipschitz_train.lipschitz.beta = 3e-2f;
+  cfg.comp_train.epochs = 3;
+  cfg.comp_train.lr = 2e-3f;
+  cfg.mc.samples = 8;
+  cfg.plan_mode = PlanMode::kFixedRatio;
+  cfg.fixed_ratio = 0.5f;
+
+  std::vector<std::string> stages;
+  cfg.log = [&](const std::string& s) { stages.push_back(s); };
+
+  auto make_model = [](Rng& rng) { return models::lenet5(1, 28, 10, rng); };
+  PipelineResult r = run_correctnet(make_model, ds.train, ds.test, cfg);
+
+  // Clean accuracies in sane ranges.
+  EXPECT_GT(r.clean_acc_base, 0.85f);
+  EXPECT_GT(r.clean_acc_lipschitz, 0.80f);
+
+  // Degradation under variations, then recovery ordering:
+  // corrected > suppression-only > baseline (allowing small noise slack).
+  EXPECT_LT(r.base_var.mean, r.clean_acc_base);
+  EXPECT_GT(r.lipschitz_var.mean, r.base_var.mean - 0.02);
+  EXPECT_GT(r.corrected_var.mean, r.lipschitz_var.mean - 0.02);
+  EXPECT_GT(r.corrected_var.mean, r.base_var.mean);
+
+  // Artifacts populated.
+  EXPECT_FALSE(r.sensitivity.empty());
+  EXPECT_GT(r.comp_layers, 0);
+  EXPECT_GT(r.overhead, 0.0);
+  EXPECT_LT(r.overhead, 0.25);
+  EXPECT_FALSE(stages.empty());
+
+  // The corrected model is runnable and consistent with the recorded stats.
+  McResult check = mc_accuracy(r.corrected_model, ds.test, cfg.variation, cfg.mc);
+  EXPECT_NEAR(check.mean, r.corrected_var.mean, 1e-9);
+}
+
+}  // namespace
+}  // namespace cn::core

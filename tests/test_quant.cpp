@@ -1,0 +1,80 @@
+#include "analog/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tensor/rng.h"
+
+namespace cn::analog {
+namespace {
+
+TEST(QuantizeUniform, EndpointsExact) {
+  EXPECT_FLOAT_EQ(quantize_uniform(0.0f, 0.0f, 1.0f, 5), 0.0f);
+  EXPECT_FLOAT_EQ(quantize_uniform(1.0f, 0.0f, 1.0f, 5), 1.0f);
+}
+
+TEST(QuantizeUniform, RoundsToNearestLevel) {
+  // Levels at 0, 0.25, 0.5, 0.75, 1.
+  EXPECT_FLOAT_EQ(quantize_uniform(0.3f, 0.0f, 1.0f, 5), 0.25f);
+  EXPECT_FLOAT_EQ(quantize_uniform(0.4f, 0.0f, 1.0f, 5), 0.5f);
+}
+
+TEST(QuantizeUniform, ClampsOutOfRange) {
+  EXPECT_FLOAT_EQ(quantize_uniform(2.0f, 0.0f, 1.0f, 3), 1.0f);
+  EXPECT_FLOAT_EQ(quantize_uniform(-1.0f, 0.0f, 1.0f, 3), 0.0f);
+}
+
+TEST(QuantizeUniform, Validates) {
+  EXPECT_THROW(quantize_uniform(0.5f, 0.0f, 1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(quantize_uniform(0.5f, 1.0f, 0.0f, 4), std::invalid_argument);
+}
+
+TEST(QuantizeTensor, LimitsDistinctValues) {
+  Rng rng(1);
+  Tensor t({1000});
+  rng.fill_uniform(t, -1.0f, 1.0f);
+  quantize_tensor(t, -1.0f, 1.0f, 8);
+  std::set<float> distinct(t.vec().begin(), t.vec().end());
+  EXPECT_LE(distinct.size(), 8u);
+}
+
+TEST(DacQuantize, DisabledForNonPositiveBits) {
+  Tensor t = Tensor::from({0.1f, 0.7f, 0.3f});
+  Tensor orig = t;
+  dac_quantize(t, 0);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], orig[i]);
+}
+
+TEST(DacQuantize, PreservesRangeEndpoints) {
+  Tensor t = Tensor::from({0.0f, 1.0f, 0.49f});
+  dac_quantize(t, 1);  // 2 levels: 0 or 1
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 1.0f);
+  EXPECT_FLOAT_EQ(t[2], 0.0f);
+}
+
+TEST(DacQuantize, ConstantInputUntouched) {
+  Tensor t({4}, 2.0f);
+  dac_quantize(t, 4);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 2.0f);
+}
+
+TEST(AdcQuantize, HighResolutionIsNearLossless) {
+  Rng rng(2);
+  Tensor t({100});
+  rng.fill_uniform(t, -0.9f, 0.9f);
+  Tensor orig = t;
+  adc_quantize(t, 12, 1.0f);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_NEAR(t[i], orig[i], 1e-3f);
+}
+
+TEST(AdcQuantize, LowResolutionIsCoarse) {
+  Tensor t = Tensor::from({0.3f});
+  adc_quantize(t, 2, 1.0f);  // 4 levels over [-1, 1]: -1, -1/3, 1/3, 1
+  EXPECT_NEAR(t[0], 1.0f / 3.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace cn::analog

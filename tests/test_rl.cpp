@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "rl/reinforce.h"
+
+namespace cn::rl {
+namespace {
+
+TEST(RnnPolicy, SampleShapeAndDeterminism) {
+  RnnPolicy p(6, 4, 16, 1);
+  Rng a(5), b(5);
+  auto ea = p.sample(a);
+  auto eb = p.sample(b);
+  ASSERT_EQ(ea.actions.size(), 6u);
+  EXPECT_EQ(ea.actions, eb.actions);
+  for (int v : ea.actions) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+  EXPECT_LE(ea.log_prob, 0.0f);
+}
+
+TEST(RnnPolicy, ProbsAreDistributions) {
+  RnnPolicy p(3, 5, 8, 2);
+  Rng rng(7);
+  auto ep = p.sample(rng);
+  for (const auto& probs : ep.probs) {
+    double s = 0.0;
+    for (int64_t i = 0; i < probs.size(); ++i) {
+      EXPECT_GE(probs[i], 0.0f);
+      s += probs[i];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(RnnPolicy, GreedyIsDeterministic) {
+  RnnPolicy p(4, 3, 8, 3);
+  EXPECT_EQ(p.greedy(), p.greedy());
+}
+
+TEST(RnnPolicy, GradientPushesTowardRewardedActions) {
+  // One-step policy; positive advantage on action 2 must raise its prob.
+  RnnPolicy p(1, 3, 8, 4);
+  Rng rng(9);
+  nn::Adam opt(0.05f);
+  auto params = p.params();
+  for (int it = 0; it < 200; ++it) {
+    auto ep = p.sample(rng);
+    const float reward = (ep.actions[0] == 2) ? 1.0f : 0.0f;
+    nn::Optimizer::zero_grad(params);
+    p.accumulate_grad(ep, reward - 0.3f);
+    opt.step(params);
+  }
+  EXPECT_EQ(p.greedy()[0], 2);
+}
+
+TEST(Reinforce, MaximizesSimpleCountingReward) {
+  // Reward = number of actions equal to 1; optimum is all-ones.
+  RnnPolicy policy(5, 3, 16, 11);
+  ReinforceConfig cfg;
+  cfg.iterations = 400;
+  cfg.lr = 0.03f;
+  cfg.seed = 13;
+  auto outcome = run_reinforce(
+      policy,
+      [](const std::vector<int>& a) {
+        float r = 0.0f;
+        for (int v : a)
+          if (v == 1) r += 1.0f;
+        return r;
+      },
+      cfg);
+  EXPECT_GE(outcome.best_reward, 4.0f);
+  EXPECT_EQ(outcome.reward_history.size(), 400u);
+  // The trained policy's greedy rollout is near-optimal.
+  int ones = 0;
+  for (int v : policy.greedy())
+    if (v == 1) ++ones;
+  EXPECT_GE(ones, 4);
+}
+
+TEST(Reinforce, TracksBestEpisode) {
+  RnnPolicy policy(2, 2, 8, 17);
+  ReinforceConfig cfg;
+  cfg.iterations = 30;
+  cfg.seed = 3;
+  float best_seen = -1e30f;
+  auto outcome = run_reinforce(
+      policy,
+      [&](const std::vector<int>& a) {
+        const float r = static_cast<float>(a[0] * 2 + a[1]);
+        best_seen = std::max(best_seen, r);
+        return r;
+      },
+      cfg);
+  EXPECT_FLOAT_EQ(outcome.best_reward, best_seen);
+}
+
+}  // namespace
+}  // namespace cn::rl

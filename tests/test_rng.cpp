@@ -1,0 +1,106 @@
+#include "tensor/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cn {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+  EXPECT_EQ(rng.uniform_int(0), 0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMatchesTheory) {
+  // E[e^θ] = e^{σ²/2} for θ ~ N(0, σ²).
+  Rng rng(10);
+  const double sigma = 0.5;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(0.0, sigma);
+  EXPECT_NEAR(sum / n, std::exp(sigma * sigma / 2.0), 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(11);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(12);
+  Rng b = a.fork();
+  // Forked stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, FillLognormalFactorPositive) {
+  Rng rng(13);
+  Tensor t({1000});
+  rng.fill_lognormal_factor(t, 0.5f);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_GT(t[i], 0.0f);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace cn

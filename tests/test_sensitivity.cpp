@@ -1,0 +1,58 @@
+#include "core/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+
+namespace cn::core {
+namespace {
+
+TEST(Sensitivity, SweepShapeAndMonotoneTrend) {
+  data::DigitsSpec spec;
+  spec.train_count = 600;
+  spec.test_count = 150;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(1);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  train(m, ds.train, ds.test, cfg);
+  const float clean = evaluate(m, ds.test);
+
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  McOptions opts;
+  opts.samples = 6;
+  auto sweep = sensitivity_sweep(m, ds.test, vm, opts);
+  ASSERT_EQ(sweep.size(), 5u);  // LeNet-5 has 5 analog sites
+  for (size_t i = 0; i < sweep.size(); ++i)
+    EXPECT_EQ(sweep[i].first_site, static_cast<int64_t>(i));
+  // Later starting site => fewer perturbed layers => accuracy at the last
+  // point must beat the first point (broad trend, not strict monotonicity).
+  EXPECT_GT(sweep.back().mean + 1e-9, sweep.front().mean);
+  // All accuracies below clean.
+  for (const auto& p : sweep) EXPECT_LE(p.mean, clean + 1e-6);
+}
+
+TEST(CandidateCount, PicksFirstQualifyingIndex) {
+  std::vector<SensitivityPoint> sweep = {
+      {0, 0.30, 0.01}, {1, 0.50, 0.01}, {2, 0.93, 0.01}, {3, 0.97, 0.01}};
+  // clean = 1.0, ratio 0.95 -> first mean >= 0.95 is index 3.
+  EXPECT_EQ(compensation_candidate_count(sweep, 1.0, 0.95), 3);
+  // Looser ratio 0.9 -> index 2.
+  EXPECT_EQ(compensation_candidate_count(sweep, 1.0, 0.90), 2);
+}
+
+TEST(CandidateCount, AllLayersWhenNoneQualify) {
+  std::vector<SensitivityPoint> sweep = {{0, 0.2, 0.0}, {1, 0.3, 0.0}};
+  EXPECT_EQ(compensation_candidate_count(sweep, 1.0, 0.95), 2);
+}
+
+TEST(CandidateCount, ZeroWhenAlreadyRobust) {
+  std::vector<SensitivityPoint> sweep = {{0, 0.99, 0.0}, {1, 0.99, 0.0}};
+  EXPECT_EQ(compensation_candidate_count(sweep, 1.0, 0.95), 0);
+}
+
+}  // namespace
+}  // namespace cn::core

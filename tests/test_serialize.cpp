@@ -1,0 +1,101 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "models/lenet.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "tensor/rng.h"
+
+namespace cn::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  Rng rng(1);
+  Sequential a = models::lenet5(1, 28, 10, rng);
+  const std::string path = temp_path("cn_test_roundtrip.wts");
+  save_weights(a, path);
+
+  Rng rng2(99);
+  Sequential b = models::lenet5(1, 28, 10, rng2);
+  load_weights(b, path);
+
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i)
+    for (int64_t j = 0; j < pa[i]->size(); ++j)
+      ASSERT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedModelProducesIdenticalOutputs) {
+  Rng rng(2);
+  Sequential a = models::lenet5(1, 28, 10, rng);
+  const std::string path = temp_path("cn_test_outputs.wts");
+  save_weights(a, path);
+  Rng rng2(3);
+  Sequential b = models::lenet5(1, 28, 10, rng2);
+  load_weights(b, path);
+  Tensor x({2, 1, 28, 28});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor ya = a.forward(x, false);
+  Tensor yb = b.forward(x, false);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Rng rng(4);
+  Sequential a("a");
+  a.emplace<Dense>(4, 4, "d");
+  const std::string path = temp_path("cn_test_mismatch.wts");
+  save_weights(a, path);
+  Sequential b("b");
+  b.emplace<Dense>(4, 5, "d");
+  EXPECT_THROW(load_weights(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ParamCountMismatchRejected) {
+  Rng rng(5);
+  Sequential a("a");
+  a.emplace<Dense>(2, 2, "d");
+  const std::string path = temp_path("cn_test_count.wts");
+  save_weights(a, path);
+  Sequential b("b");
+  b.emplace<Dense>(2, 2, "d1");
+  b.emplace<Dense>(2, 2, "d2");
+  EXPECT_THROW(load_weights(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Sequential m("m");
+  m.emplace<Dense>(2, 2);
+  EXPECT_THROW(load_weights(m, "/nonexistent/dir/x.wts"), std::runtime_error);
+  EXPECT_THROW(save_weights(m, "/nonexistent/dir/x.wts"), std::runtime_error);
+}
+
+TEST(Serialize, CorruptFileRejected) {
+  const std::string path = temp_path("cn_test_corrupt.wts");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a weights file";
+  }
+  Sequential m("m");
+  m.emplace<Dense>(2, 2);
+  EXPECT_THROW(load_weights(m, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cn::nn

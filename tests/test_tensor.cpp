@@ -1,0 +1,97 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cn {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(numel({}), 1);
+  EXPECT_EQ(numel({3}), 3);
+  EXPECT_EQ(numel({2, 3, 4}), 24);
+  EXPECT_EQ(numel({5, 0}), 0);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(to_string({}), "[]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromInitializerList) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeDimIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_EQ(t.dim(0), 2);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_FLOAT_EQ(r.at(1, 0), 4.0f);
+}
+
+TEST(Tensor, ReshapeRejectsBadCount) {
+  Tensor t({4});
+  EXPECT_THROW(t.reshape({3}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, 1.0f);
+  Tensor c = t.clone();
+  c[0] = 9.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3});
+  t.fill(4.0f);
+  EXPECT_FLOAT_EQ(t[2], 4.0f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t[2], 0.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+}
+
+}  // namespace
+}  // namespace cn

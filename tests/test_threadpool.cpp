@@ -1,0 +1,68 @@
+#include "tensor/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cn {
+namespace {
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(5, 3, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  std::atomic<int64_t> total{0};
+  parallel_for(
+      0, 3, [&](int64_t lo, int64_t hi) { total.fetch_add(hi - lo); },
+      /*min_chunk=*/10);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, RepeatedInvocationsAreStable) {
+  // Regression test for the completion-signal race: many short parallel
+  // sections in a row must not deadlock or crash.
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::atomic<int64_t> sum{0};
+    parallel_for(0, 64, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, DedicatedPoolJoinsOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    pool.parallel_for(0, 100, [&](int64_t lo, int64_t hi) {
+      done.fetch_add(static_cast<int>(hi - lo));
+    });
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cn

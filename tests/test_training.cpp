@@ -1,0 +1,178 @@
+// Integration tests: optimizers reduce loss; the trainer learns separable
+// synthetic tasks; variation-in-the-loop training leaves weights nominal.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+
+namespace cn {
+namespace {
+
+TEST(Optimizer, SgdDescendsQuadratic) {
+  // minimize 0.5*(w-3)^2 by gradient steps.
+  nn::Param w(Shape{1});
+  w.value[0] = 0.0f;
+  nn::SGD opt(0.1f, 0.0f);
+  for (int i = 0; i < 200; ++i) {
+    w.zero_grad();
+    w.grad[0] = w.value[0] - 3.0f;
+    opt.step({&w});
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-3f);
+}
+
+TEST(Optimizer, AdamDescendsQuadratic) {
+  nn::Param w(Shape{1});
+  w.value[0] = -5.0f;
+  nn::Adam opt(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    w.zero_grad();
+    w.grad[0] = w.value[0] - 3.0f;
+    opt.step({&w});
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 1e-2f);
+}
+
+TEST(Optimizer, FrozenParamUntouched) {
+  nn::Param w(Shape{1});
+  w.value[0] = 1.0f;
+  w.trainable = false;
+  w.grad[0] = 100.0f;
+  nn::Adam adam(0.1f);
+  adam.step({&w});
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);
+  nn::SGD sgd(0.1f);
+  sgd.step({&w});
+  EXPECT_FLOAT_EQ(w.value[0], 1.0f);
+}
+
+TEST(Optimizer, ClipGradNorm) {
+  nn::Param a(Shape{2});
+  a.grad[0] = 3.0f;
+  a.grad[1] = 4.0f;  // norm 5
+  const float pre = nn::clip_grad_norm({&a}, 1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(l2_norm(a.grad), 1.0f, 1e-5f);
+  // Below the cap: untouched.
+  nn::Param b(Shape{1});
+  b.grad[0] = 0.5f;
+  nn::clip_grad_norm({&b}, 1.0f);
+  EXPECT_FLOAT_EQ(b.grad[0], 0.5f);
+}
+
+// A linearly separable 2-D toy dataset.
+data::Dataset make_toy(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset d;
+  d.num_classes = 2;
+  d.images = Tensor({n, 1, 1, 2});
+  d.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const float cx = label ? 1.5f : -1.5f;
+    d.images[i * 2 + 0] = cx + static_cast<float>(rng.normal(0.0, 0.4));
+    d.images[i * 2 + 1] = static_cast<float>(rng.normal(0.0, 0.4));
+    d.labels[static_cast<size_t>(i)] = label;
+  }
+  return d;
+}
+
+TEST(Trainer, LearnsSeparableTask) {
+  data::Dataset train = make_toy(400, 1);
+  data::Dataset test = make_toy(100, 2);
+  Rng rng(3);
+  nn::Sequential m("toy");
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Dense>(2, 8, "d1");
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dense>(8, 2, "d2");
+  nn::init_model(m, rng);
+
+  core::TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.lr = 1e-2f;
+  core::TrainResult tr = core::train(m, train, test, cfg);
+  EXPECT_GT(tr.test_acc, 0.95f);
+  EXPECT_LT(tr.final_loss, 0.3f);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  data::Dataset train = make_toy(64, 4);
+  Rng rng(5);
+  nn::Sequential m("toy");
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Dense>(2, 2, "d");
+  nn::init_model(m, rng);
+  int calls = 0;
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.on_epoch = [&](int, float, float) { ++calls; };
+  core::train(m, train, train, cfg);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Trainer, VariationInLoopClearsAfterTraining) {
+  data::Dataset train = make_toy(64, 6);
+  Rng rng(7);
+  nn::Sequential m("toy");
+  m.emplace<nn::Flatten>();
+  auto& d = m.emplace<nn::Dense>(2, 2, "d");
+  nn::init_model(m, rng);
+  const Tensor before = d.weight().value;
+
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.variation_in_loop = true;
+  cfg.variation = analog::VariationModel{analog::VariationKind::kLognormal, 0.5f};
+  m.set_trainable(false);  // freeze so we can check factors are cleared
+  core::train(m, train, train, cfg);
+  // Frozen weights unchanged and no residual factors: forward == nominal.
+  for (int64_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(d.weight().value[i], before[i]);
+  Tensor x({1, 1, 1, 2}, std::vector<float>{1.0f, 1.0f});
+  Tensor y1 = m.forward(x, false);
+  m.clear_all_variations();
+  Tensor y2 = m.forward(x, false);
+  for (int64_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  data::Dataset train = make_toy(128, 8);
+  auto run = [&] {
+    Rng rng(9);
+    nn::Sequential m("toy");
+    m.emplace<nn::Flatten>();
+    m.emplace<nn::Dense>(2, 4, "d1");
+    m.emplace<nn::ReLU>();
+    m.emplace<nn::Dense>(4, 2, "d2");
+    nn::init_model(m, rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.seed = 42;
+    core::train(m, train, train, cfg);
+    return static_cast<nn::Dense&>(m.layer(1)).weight().value;
+  };
+  Tensor w1 = run();
+  Tensor w2 = run();
+  for (int64_t i = 0; i < w1.size(); ++i) EXPECT_FLOAT_EQ(w1[i], w2[i]);
+}
+
+TEST(Evaluate, PerfectModelScoresOne) {
+  data::Dataset d = make_toy(50, 10);
+  // A hand-built classifier: sign of x coordinate.
+  nn::Sequential m("hand");
+  m.emplace<nn::Flatten>();
+  auto& fc = m.emplace<nn::Dense>(2, 2, "d");
+  fc.weight().value = Tensor({2, 2}, std::vector<float>{-1, 0, 1, 0});
+  EXPECT_GT(core::evaluate(m, d), 0.97f);
+}
+
+}  // namespace
+}  // namespace cn
