@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "tensor/threadpool.h"

@@ -1,0 +1,64 @@
+// Build-system smoke test: links one symbol from every library module so
+// that a future link regression (missing source in CMake, ODR break,
+// dropped dependency) fails here with an obvious name instead of in a
+// random suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analog/crossbar.h"
+#include "core/compensation.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "nn/conv2d.h"
+#include "nn/sequential.h"
+#include "rl/policy.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace cn {
+namespace {
+
+TEST(Smoke, TensorModuleLinks) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(numel(t.shape()), 6);
+  Rng rng(42);
+  EXPECT_NE(rng.uniform(), rng.uniform());
+}
+
+TEST(Smoke, NnModuleLinks) {
+  nn::Conv2D conv(1, 2, 3, 1, 1, 8, 8, "smoke.conv");
+  Tensor x(Shape{1, 1, 8, 8}, 0.25f);
+  Tensor y = conv.forward(x, /*train=*/false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 8, 8}));
+}
+
+TEST(Smoke, AnalogModuleLinks) {
+  Rng rng(7);
+  Tensor w(Shape{4, 6});
+  for (int64_t i = 0; i < numel(w.shape()); ++i) w.data()[i] = 0.01f * float(i - 10);
+  analog::RramDeviceParams dev;  // ideal device: zero variation
+  analog::CrossbarArray xbar(w, dev, rng, /*tile=*/4);
+  Tensor x(Shape{6}, 0.5f);
+  Tensor y = xbar.matvec(x);
+  EXPECT_EQ(y.shape(), (Shape{4}));
+}
+
+TEST(Smoke, CoreCompensationLinks) {
+  Rng rng(11);
+  auto base = std::make_unique<nn::Conv2D>(1, 2, 3, 1, 1, 6, 6, "smoke.base");
+  core::CompensatedConv2D cc(std::move(base), /*m_filters=*/2, rng);
+  Tensor x(Shape{1, 1, 6, 6}, 0.1f);
+  Tensor y = cc.forward(x, /*train=*/false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 6, 6}));
+}
+
+TEST(Smoke, ModelsAndDataModulesLink) {
+  Rng rng(13);
+  nn::Sequential m = models::lenet5(1, 28, 10, rng);
+  EXPECT_GT(m.num_layers(), 0);
+}
+
+}  // namespace
+}  // namespace cn
