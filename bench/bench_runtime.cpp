@@ -1,0 +1,194 @@
+// bench_runtime: the inference-runtime speedup bench.
+//
+// Measures Monte-Carlo evaluation over a farm of programmed crossbar chips
+// two ways on the identical workload and chip seeds:
+//   seed path   — sequential chip loop, per-column CrossbarArray::matvec
+//                 (the code shape before the runtime subsystem existed);
+//   runtime     — ChipFarm + McEngine with sample-level parallelism and the
+//                 tile-blocked CrossbarArray::matmul batched kernel.
+// The two must agree bit-for-bit (read noise off); the interesting number is
+// the wall-clock ratio. A second section benches the factor-injection MC
+// path and the micro-batching InferenceServer.
+//
+// Writes BENCH_runtime.json (see bench::BenchJson). `--quick` shrinks the
+// workload for CI smoke runs.
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+
+#include "common.h"
+#include "tensor/ops.h"
+#include "tensor/threadpool.h"
+#include "runtime/chip_farm.h"
+#include "runtime/inference_server.h"
+#include "runtime/mc_engine.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int chips = quick ? 4 : 8;
+  const int64_t test_count = quick ? 120 : 400;
+  std::printf("== bench_runtime (%s: %d crossbar chips, %lld test images) ==\n",
+              quick ? "quick" : "full", chips, static_cast<long long>(test_count));
+
+  data::DigitsSpec spec;
+  spec.train_count = 800;
+  spec.test_count = test_count;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(2023);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  std::printf("  [train] LeNet5-Digits (%d epochs)...\n", cfg.epochs);
+  core::train(model, ds.train, ds.test, cfg);
+  const float clean = core::evaluate(model, ds.test);
+  std::printf("  clean accuracy: %.3f\n", clean);
+
+  bench::BenchJson json("runtime");
+  json.set("quick", quick);
+  json.set("chips", static_cast<int64_t>(chips));
+  json.set("test_images", test_count);
+
+  // ---------- MC over programmed crossbar chips: seed path vs runtime ----------
+  analog::RramDeviceParams dev;
+  dev.g_min = 1e-6f;
+  dev.g_max = 1e-4f;
+  dev.program_sigma = 0.3f;
+
+  runtime::ChipFarmOptions fo;
+  fo.instances = chips;
+  fo.max_live = chips;  // keep every chip resident: programming timed once
+  fo.seed = 42;
+  runtime::ChipFarm farm(model, dev, fo);
+
+  auto t0 = Clock::now();
+  for (int s = 0; s < chips; ++s) farm.chip(s);
+  const double t_program = seconds_since(t0);
+  std::printf("  [farm] programmed %d chips in %.2fs\n", chips, t_program);
+  json.set("program_s", t_program);
+
+  // Seed path: sequential chip loop + per-column matvec execution.
+  for (int s = 0; s < chips; ++s) analog::set_batched(farm.chip(s), false);
+  std::vector<double> seq_samples(static_cast<size_t>(chips));
+  t0 = Clock::now();
+  for (int s = 0; s < chips; ++s)
+    seq_samples[static_cast<size_t>(s)] = core::evaluate(farm.chip(s), ds.test, 128);
+  const double t_seq = seconds_since(t0);
+
+  // Runtime: batched matmul kernels + sample-parallel McEngine.
+  for (int s = 0; s < chips; ++s) analog::set_batched(farm.chip(s), true);
+  runtime::McEngineOptions eo;
+  eo.batch_size = 128;
+  runtime::McEngine engine(farm, eo);
+  t0 = Clock::now();
+  const core::McResult rt = engine.accuracy(ds.test);
+  const double t_runtime = seconds_since(t0);
+
+  bool identical = rt.samples.size() == seq_samples.size();
+  for (size_t s = 0; identical && s < seq_samples.size(); ++s)
+    identical = rt.samples[s] == seq_samples[s];
+  const double speedup = t_runtime > 0 ? t_seq / t_runtime : 0.0;
+  std::printf("  [mc-crossbar] seed path   : %.3fs\n", t_seq);
+  std::printf("  [mc-crossbar] runtime     : %.3fs  (mean acc %.3f ± %.3f)\n",
+              t_runtime, rt.mean, rt.stddev);
+  std::printf("  [mc-crossbar] speedup     : %.2fx  bit-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  json.set("mc_crossbar_seed_s", t_seq);
+  json.set("mc_crossbar_runtime_s", t_runtime);
+  json.set("mc_crossbar_speedup", speedup);
+  json.set("mc_crossbar_bit_identical", identical);
+  json.set("mc_crossbar_mean_acc", rt.mean);
+
+  // ---------- factor-injection MC: seed-style loop vs McEngine ----------
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.4f};
+  const int mc_samples = quick ? 8 : 16;
+  {
+    // Seed-style: one work clone, one rng stream, strictly sequential.
+    nn::Sequential work = model.clone_model();
+    Rng mc_rng(4242);
+    t0 = Clock::now();
+    for (int s = 0; s < mc_samples; ++s) {
+      analog::perturb_from(work, vm, mc_rng, 0);
+      core::evaluate(work, ds.test, 128);
+    }
+    work.clear_all_variations();
+  }
+  const double t_factor_seq = seconds_since(t0);
+  core::McOptions mo;
+  mo.samples = mc_samples;
+  mo.seed = 4242;
+  t0 = Clock::now();
+  const core::McResult fr = core::mc_accuracy(model, ds.test, vm, mo);
+  const double t_factor_rt = seconds_since(t0);
+  std::printf("  [mc-factor]   seed path   : %.3fs\n", t_factor_seq);
+  std::printf("  [mc-factor]   runtime     : %.3fs  (mean acc %.3f, %u threads)\n",
+              t_factor_rt, fr.mean, ThreadPool::global().size());
+  json.set("mc_factor_seed_s", t_factor_seq);
+  json.set("mc_factor_runtime_s", t_factor_rt);
+  json.set("mc_factor_samples", static_cast<int64_t>(mc_samples));
+  json.set("threads", static_cast<int64_t>(ThreadPool::global().size()));
+
+  // ---------- InferenceServer micro-batching ----------
+  {
+    analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+    runtime::ChipFarmOptions sfo;
+    sfo.instances = 2;
+    sfo.max_live = 2;
+    runtime::ChipFarm sfarm(model, none, sfo);
+    runtime::InferenceServerOptions so;
+    so.max_batch = 32;
+    so.max_wait_us = 1000;
+    so.workers = 2;
+    runtime::InferenceServer server(sfarm, so);
+    const int64_t requests = std::min<int64_t>(test_count, quick ? 120 : 400);
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(requests));
+    t0 = Clock::now();
+    std::thread client([&] {
+      for (int64_t i = 0; i < requests; ++i)
+        futs.push_back(server.submit(ds.test.image(i)));
+    });
+    client.join();
+    int64_t correct = 0;
+    for (int64_t i = 0; i < requests; ++i) {
+      Tensor logits = futs[static_cast<size_t>(i)].get();
+      logits.reshape({1, logits.size()});
+      if (argmax_row(logits, 0) == ds.test.labels[static_cast<size_t>(i)]) ++correct;
+    }
+    const double t_serve = seconds_since(t0);
+    const runtime::ServerStats st = server.stats();
+    std::printf("  [server] %lld requests in %.3fs: %.0f req/s, avg batch %.1f, "
+                "avg latency %.0fus, acc %.3f\n",
+                static_cast<long long>(requests), t_serve, st.throughput_rps(),
+                st.avg_batch(), st.avg_latency_us(),
+                static_cast<double>(correct) / static_cast<double>(requests));
+    json.set("server_requests", requests);
+    json.set("server_throughput_rps", st.throughput_rps());
+    json.set("server_avg_batch", st.avg_batch());
+    json.set("server_avg_latency_us", st.avg_latency_us());
+  }
+
+  json.set("wall_s", t_program + t_seq + t_runtime + t_factor_seq + t_factor_rt);
+  json.write();
+
+  if (!identical) {
+    std::printf("FAIL: runtime MC result diverged from the seed path\n");
+    return 1;
+  }
+  std::printf("done.\n");
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/compensation.h"
@@ -287,6 +288,65 @@ inline std::string fmt(double v, int prec = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
 }
+
+/// Minimal JSON emitter: every bench can record its headline numbers
+/// (name, wall time, throughput, ...) as BENCH_<name>.json so the perf
+/// trajectory is machine-readable across commits. Keys keep insertion order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {
+    set("name", name_);
+  }
+
+  void set(const std::string& key, const std::string& v) {
+    entries_.emplace_back(key, "\"" + escaped(v) + "\"");
+  }
+  void set(const std::string& key, const char* v) { set(key, std::string(v)); }
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, int64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, int v) { set(key, static_cast<int64_t>(v)); }
+  void set(const std::string& key, bool v) {
+    entries_.emplace_back(key, v ? "true" : "false");
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    os << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      os << "  \"" << escaped(entries_[i].first) << "\": " << entries_[i].second;
+      if (i + 1 < entries_.size()) os << ',';
+      os << '\n';
+    }
+    os << "}\n";
+    std::printf("  (json -> %s)\n", path.c_str());
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 inline analog::VariationModel lognormal(float sigma) {
   return analog::VariationModel{analog::VariationKind::kLognormal, sigma};

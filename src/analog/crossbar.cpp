@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "tensor/threadpool.h"
 
 namespace cn::analog {
 
@@ -39,25 +40,42 @@ CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDevicePara
     g_pos_[static_cast<size_t>(i)] = gp;
     g_neg_[static_cast<size_t>(i)] = gn;
   }
+  gd_pos_.assign(static_cast<size_t>(n) + 8, 0.0);
+  gd_neg_.assign(static_cast<size_t>(n) + 8, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    gd_pos_[static_cast<size_t>(i)] = static_cast<double>(g_pos_[static_cast<size_t>(i)]);
+    gd_neg_[static_cast<size_t>(i)] = static_cast<double>(g_neg_[static_cast<size_t>(i)]);
+  }
 }
 
 void CrossbarTile::accumulate_matvec(const float* x, float* y, Rng* read_rng) const {
+  std::vector<double> ip(static_cast<size_t>(cols_));
+  std::vector<double> in(static_cast<size_t>(cols_));
+  std::vector<float> cur(static_cast<size_t>(cols_));
+  accumulate_row(x, y, read_rng, ip.data(), in.data(), cur.data());
+}
+
+void CrossbarTile::accumulate_row(const float* x, float* y, Rng* read_rng,
+                                  double* ip, double* in_acc, float* currents) const {
   // Currents on positive/negative bitlines.
-  std::vector<double> ip(static_cast<size_t>(cols_), 0.0);
-  std::vector<double> in(static_cast<size_t>(cols_), 0.0);
+  std::fill(ip, ip + cols_, 0.0);
+  std::fill(in_acc, in_acc + cols_, 0.0);
   for (int64_t r = 0; r < rows_; ++r) {
     const float v = x[r];
     if (v == 0.0f) continue;
     const float* gp = g_pos_.data() + r * cols_;
     const float* gn = g_neg_.data() + r * cols_;
     for (int64_t c = 0; c < cols_; ++c) {
-      ip[static_cast<size_t>(c)] += static_cast<double>(v) * gp[c];
-      in[static_cast<size_t>(c)] += static_cast<double>(v) * gn[c];
+      ip[c] += static_cast<double>(v) * gp[c];
+      in_acc[c] += static_cast<double>(v) * gn[c];
     }
   }
-  Tensor currents({cols_});
   for (int64_t c = 0; c < cols_; ++c)
-    currents[c] = static_cast<float>(ip[static_cast<size_t>(c)] - in[static_cast<size_t>(c)]);
+    currents[c] = static_cast<float>(ip[c] - in_acc[c]);
+  finish_row(currents, y, read_rng);
+}
+
+void CrossbarTile::finish_row(float* currents, float* y, Rng* read_rng) const {
   if (read_rng && dev_.read_sigma > 0.0f) {
     for (int64_t c = 0; c < cols_; ++c)
       currents[c] *= 1.0f + static_cast<float>(read_rng->normal(0.0, dev_.read_sigma));
@@ -65,9 +83,132 @@ void CrossbarTile::accumulate_matvec(const float* x, float* y, Rng* read_rng) co
   if (dev_.adc_bits > 0) {
     // Full scale: every row driving g_max differentially.
     const float fs = static_cast<float>(rows_) * (dev_.g_max - dev_.g_min);
-    adc_quantize(currents, dev_.adc_bits, fs);
+    for (int64_t c = 0; c < cols_; ++c)
+      currents[c] = quantize_uniform(currents[c], -fs, fs, 1 << dev_.adc_bits);
   }
   for (int64_t c = 0; c < cols_; ++c) y[c] += scale_ * currents[c];
+}
+
+namespace {
+
+// Register-blocked current accumulation for RB input rows at once: one pass
+// over the tile's conductances serves RB rows, and per-(row, column)
+// accumulators keep the exact wordline summation order of the scalar path.
+// Adding a zero-voltage term is a bitwise no-op for these sums (products are
+// +/-normal or signed zero; round-to-nearest never flips an accumulator to
+// -0), so the scalar path's v == 0 skip does not change results. The g
+// arrays carry 8 doubles of end padding: lanes past `cols` compute garbage
+// that is simply not written back.
+// CONTIG: the RB input items are contiguous at each wordline (column-major
+// batch, x_item_stride == 1), letting the voltage loads vectorize.
+template <int RB, bool CONTIG>
+[[gnu::always_inline]] inline void block_currents_impl(
+    const double* gp, const double* gn, int64_t rows, int64_t cols,
+    const float* x, int64_t xis, int64_t xws, float* cur, int64_t ldcur) {
+  for (int64_t c0 = 0; c0 < cols; c0 += 8) {
+    double accp[RB][8] = {}, accn[RB][8] = {};
+    for (int64_t r = 0; r < rows; ++r) {
+      const double* gpr = gp + r * cols + c0;
+      const double* gnr = gn + r * cols + c0;
+      double v[RB];
+      if (CONTIG) {
+        const float* xr = x + r * xws;
+        for (int i = 0; i < RB; ++i) v[i] = static_cast<double>(xr[i]);
+      } else {
+        for (int i = 0; i < RB; ++i)
+          v[i] = static_cast<double>(x[i * xis + r * xws]);
+      }
+      for (int c = 0; c < 8; ++c) {
+        const double gpc = gpr[c], gnc = gnr[c];
+        for (int i = 0; i < RB; ++i) {
+          accp[i][c] += v[i] * gpc;
+          accn[i][c] += v[i] * gnc;
+        }
+      }
+    }
+    const int64_t cc = std::min<int64_t>(8, cols - c0);
+    for (int i = 0; i < RB; ++i)
+      for (int64_t c = 0; c < cc; ++c)
+        cur[i * ldcur + c0 + c] = static_cast<float>(accp[i][c] - accn[i][c]);
+  }
+}
+
+template <int RB, bool CONTIG>
+void block_currents_generic(const double* gp, const double* gn, int64_t rows,
+                            int64_t cols, const float* x, int64_t xis, int64_t xws,
+                            float* cur, int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+using BlockKernel = void (*)(const double*, const double*, int64_t, int64_t,
+                             const float*, int64_t, int64_t, float*, int64_t);
+
+// Wider SIMD variants, dispatched once at runtime. Contraction must stay off
+// (separate vmulpd/vaddpd): a fused multiply-add would round differently
+// from the scalar path and break the bit-exact matmul == matvec guarantee.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+template <int RB, bool CONTIG>
+__attribute__((target("avx2"), optimize("fp-contract=off"))) void
+block_currents_avx2(const double* gp, const double* gn, int64_t rows, int64_t cols,
+                    const float* x, int64_t xis, int64_t xws, float* cur,
+                    int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+template <int RB, bool CONTIG>
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+block_currents_avx512(const double* gp, const double* gn, int64_t rows,
+                      int64_t cols, const float* x, int64_t xis, int64_t xws,
+                      float* cur, int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+template <int RB, bool CONTIG>
+BlockKernel pick_block_kernel() {
+  if (__builtin_cpu_supports("avx512f")) return &block_currents_avx512<RB, CONTIG>;
+  if (__builtin_cpu_supports("avx2")) return &block_currents_avx2<RB, CONTIG>;
+  return &block_currents_generic<RB, CONTIG>;
+}
+// AVX-512's 32 registers hold an 8-row accumulator block; narrower ISAs
+// spill past 4 rows.
+int64_t pick_row_block() { return __builtin_cpu_supports("avx512f") ? 8 : 4; }
+#else
+template <int RB, bool CONTIG>
+BlockKernel pick_block_kernel() {
+  return &block_currents_generic<RB, CONTIG>;
+}
+int64_t pick_row_block() { return 4; }
+#endif
+
+const BlockKernel kBlockKernels[2][8] = {
+    {pick_block_kernel<1, false>(), pick_block_kernel<2, false>(),
+     pick_block_kernel<3, false>(), pick_block_kernel<4, false>(),
+     pick_block_kernel<5, false>(), pick_block_kernel<6, false>(),
+     pick_block_kernel<7, false>(), pick_block_kernel<8, false>()},
+    {pick_block_kernel<1, true>(), pick_block_kernel<2, true>(),
+     pick_block_kernel<3, true>(), pick_block_kernel<4, true>(),
+     pick_block_kernel<5, true>(), pick_block_kernel<6, true>(),
+     pick_block_kernel<7, true>(), pick_block_kernel<8, true>()}};
+const int64_t kRowBlock = pick_row_block();
+
+}  // namespace
+
+void CrossbarTile::accumulate_rows(const float* x, int64_t nitems,
+                                   int64_t x_item_stride, int64_t x_word_stride,
+                                   float* y, int64_t ldy, Rng* const* row_rngs,
+                                   float* cur_scratch) const {
+  const BlockKernel* kernels = kBlockKernels[x_item_stride == 1 ? 1 : 0];
+  int64_t done = 0;
+  while (done < nitems) {
+    const int64_t rb = std::min<int64_t>(kRowBlock, nitems - done);
+    kernels[rb - 1](gd_pos_.data(), gd_neg_.data(), rows_, cols_,
+                    x + done * x_item_stride, x_item_stride, x_word_stride,
+                    cur_scratch, cols_);
+    for (int64_t i = 0; i < rb; ++i)
+      finish_row(cur_scratch + i * cols_, y + (done + i) * ldy,
+                 row_rngs ? row_rngs[done + i] : nullptr);
+    done += rb;
+  }
 }
 
 Tensor CrossbarTile::effective_weights() const {
@@ -97,8 +238,15 @@ CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev
         for (int64_t c = 0; c < cc; ++c)
           sub[r * cc + c] = w_in_out[(r0 + r) * out_ + (c0 + c)];
       tiles_.push_back(Placed{r0, c0, CrossbarTile(sub, absmax, dev, rng)});
+      max_tile_cols_ = std::max(max_tile_cols_, cc);
     }
   }
+  // Group tiles by output column block; construction order (ascending row0)
+  // is preserved inside each group so matmul accumulates like matvec.
+  const int64_t ncol_groups = (out_ + tile - 1) / tile;
+  col_groups_.resize(static_cast<size_t>(ncol_groups));
+  for (size_t t = 0; t < tiles_.size(); ++t)
+    col_groups_[static_cast<size_t>(tiles_[t].col0 / tile)].push_back(t);
 }
 
 Tensor CrossbarArray::matvec(const Tensor& x, Rng* read_rng) const {
@@ -111,6 +259,83 @@ Tensor CrossbarArray::matvec(const Tensor& x, Rng* read_rng) const {
     p.tile.accumulate_matvec(x_q.data() + p.row0, y.data() + p.col0,
                              read_rng);
   }
+  return y;
+}
+
+Tensor CrossbarArray::matmul(const Tensor& x, Rng* read_rng) const {
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument("CrossbarArray::matmul: input must be (batch, in)");
+  const int64_t n = x.dim(0);
+  // DAC quantization is per input vector (each row sees its own range),
+  // exactly as matvec applies it.
+  Tensor x_q;
+  const float* xd = x.data();
+  if (dev_.dac_bits > 0 && n > 0) {
+    x_q = x;
+    for (int64_t i = 0; i < n; ++i)
+      dac_quantize_span(x_q.data() + i * in_, in_, dev_.dac_bits);
+    xd = x_q.data();
+  }
+  return matmul_impl(xd, n, /*colmajor=*/false, read_rng);
+}
+
+Tensor CrossbarArray::matmul_cols(const Tensor& x_cm, Rng* read_rng) const {
+  if (x_cm.rank() != 2 || x_cm.dim(0) != in_)
+    throw std::invalid_argument(
+        "CrossbarArray::matmul_cols: input must be (in, batch)");
+  const int64_t n = x_cm.dim(1);
+  if (dev_.dac_bits > 0 && n > 0) {
+    // DAC ranges are per input vector, i.e. per *column* here; materialize
+    // the row-major batch and take the matmul path (quantization already
+    // dominates this configuration).
+    Tensor xr({n, in_});
+    for (int64_t r = 0; r < in_; ++r)
+      for (int64_t i = 0; i < n; ++i) xr[i * in_ + r] = x_cm[r * n + i];
+    return matmul(xr, read_rng);
+  }
+  return matmul_impl(x_cm.data(), n, /*colmajor=*/true, read_rng);
+}
+
+Tensor CrossbarArray::matmul_impl(const float* xd, int64_t n, bool colmajor,
+                                  Rng* read_rng) const {
+  Tensor y({n, out_});
+  if (n == 0) return y;
+  const bool noisy = read_rng && dev_.read_sigma > 0.0f;
+  const uint64_t noise_base = noisy ? read_rng->next_u64() : 0ull;
+
+  const int64_t row_block = 64;
+  const int64_t nblocks = (n + row_block - 1) / row_block;
+  const int64_t ngroups = static_cast<int64_t>(col_groups_.size());
+  parallel_for(0, ngroups * nblocks, [&](int64_t lo, int64_t hi) {
+    std::vector<float> cur(static_cast<size_t>(8 * max_tile_cols_));
+    std::vector<Rng> rngs;
+    std::vector<Rng*> rng_ptrs;
+    for (int64_t w = lo; w < hi; ++w) {
+      const auto& group = col_groups_[static_cast<size_t>(w / nblocks)];
+      const int64_t r0 = (w % nblocks) * row_block;
+      const int64_t r1 = std::min(n, r0 + row_block);
+      for (size_t t : group) {
+        const Placed& p = tiles_[t];
+        Rng* const* row_rngs = nullptr;
+        if (noisy) {
+          rngs.clear();
+          rng_ptrs.clear();
+          for (int64_t i = r0; i < r1; ++i)
+            rngs.emplace_back(mix64(noise_base ^
+                                    (static_cast<uint64_t>(t) * 0x100000001ull +
+                                     static_cast<uint64_t>(i))));
+          for (auto& r : rngs) rng_ptrs.push_back(&r);
+          row_rngs = rng_ptrs.data();
+        }
+        const float* xt = colmajor ? xd + p.row0 * n + r0 : xd + r0 * in_ + p.row0;
+        const int64_t xis = colmajor ? 1 : in_;
+        const int64_t xws = colmajor ? n : 1;
+        p.tile.accumulate_rows(xt, r1 - r0, xis, xws,
+                               y.data() + r0 * out_ + p.col0, out_, row_rngs,
+                               cur.data());
+      }
+    }
+  }, 1);
   return y;
 }
 

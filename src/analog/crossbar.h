@@ -50,14 +50,42 @@ class CrossbarTile {
   /// y_j += Σ_i x_i · w_eff(i,j); applies read noise/ADC if configured.
   void accumulate_matvec(const float* x, float* y, Rng* read_rng) const;
 
+  /// accumulate_matvec with caller-provided scratch (each >= cols()): the
+  /// per-column path without re-allocation. Bit-identical to
+  /// accumulate_matvec for the same rng state.
+  void accumulate_row(const float* x, float* y, Rng* read_rng, double* ip,
+                      double* in_acc, float* currents) const;
+
+  /// Batched kernel: accumulates `nitems` input vectors into y rows (stride
+  /// ldy), register-blocked over items and bitline columns so conductance
+  /// loads amortize across the batch. Input element (item i, wordline r)
+  /// sits at x[i * x_item_stride + r * x_word_stride], which covers both
+  /// row-major batches (item_stride = ld, word_stride = 1) and column-major
+  /// ones like im2col outputs (item_stride = 1, word_stride = ld). Per-item
+  /// accumulation order over wordlines is unchanged, so each result row is
+  /// bit-identical to accumulate_matvec. `row_rngs` (nullable) holds one
+  /// read-noise stream per item; `cur_scratch` must hold >= 8 * cols()
+  /// floats.
+  void accumulate_rows(const float* x, int64_t nitems, int64_t x_item_stride,
+                       int64_t x_word_stride, float* y, int64_t ldy,
+                       Rng* const* row_rngs, float* cur_scratch) const;
+
   /// The effective (perturbed, quantized) weight matrix (rows=in, cols=out).
   Tensor effective_weights() const;
 
  private:
+  /// Read noise + ADC + scaled accumulation of one current row into y;
+  /// shared tail of the scalar and batched kernels (exact parity).
+  void finish_row(float* currents, float* y, Rng* read_rng) const;
+
   int64_t rows_, cols_;
   float scale_;                 // weight per Siemens
   RramDeviceParams dev_;
   std::vector<float> g_pos_, g_neg_;  // programmed conductances, row-major
+  // Double-precision copies (8 lanes of end padding) for the batched kernel:
+  // float->double conversion is exact, so results match the float path bit
+  // for bit while the hot loop skips per-element converts.
+  std::vector<double> gd_pos_, gd_neg_;
 };
 
 /// A weight matrix W (out, in) split into tiles of at most `tile` rows/cols,
@@ -75,17 +103,40 @@ class CrossbarArray {
   /// device has read_sigma > 0.
   Tensor matvec(const Tensor& x, Rng* read_rng = nullptr) const;
 
+  /// Y = X · W_eff^T for X (batch, in) -> Y (batch, out): every row of X is
+  /// one wordline-voltage vector. Tile-blocked and threadpool-parallel over
+  /// (output-tile group × row block); with read noise off the result is
+  /// bit-identical to matvec row by row (same accumulation order). With read
+  /// noise on, one u64 is drawn from `read_rng` and independent per-(tile,
+  /// row) streams are derived from it, so the output is deterministic for a
+  /// given rng state regardless of thread count or row blocking.
+  Tensor matmul(const Tensor& x, Rng* read_rng = nullptr) const;
+
+  /// matmul for a column-major batch: X (in, batch) -> Y (batch, out),
+  /// column b of X being one wordline-voltage vector. This is the natural
+  /// layout of im2col outputs, so the conv path skips a transpose and the
+  /// kernel reads contiguous lanes. Same bit-exactness guarantees as
+  /// matmul.
+  Tensor matmul_cols(const Tensor& x_cm, Rng* read_rng = nullptr) const;
+
   /// Reconstructs the full effective weight matrix (out, in) for validation.
   Tensor effective_weights() const;
 
  private:
+  Tensor matmul_impl(const float* xd, int64_t n, bool colmajor, Rng* read_rng) const;
+
   struct Placed {
     int64_t row0, col0;  // offsets in the (in, out) orientation
     CrossbarTile tile;
   };
   int64_t in_, out_;
+  int64_t max_tile_cols_ = 0;
   RramDeviceParams dev_;
   std::vector<Placed> tiles_;
+  // Tile indices grouped by col0 (disjoint output column ranges): the unit
+  // of parallelism in matmul. Within a group, tiles stay in construction
+  // order (ascending row0) to preserve matvec's accumulation order.
+  std::vector<std::vector<size_t>> col_groups_;
 };
 
 }  // namespace cn::analog

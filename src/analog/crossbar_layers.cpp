@@ -16,11 +16,18 @@ Tensor CrossbarDense::forward(const Tensor& x, bool) {
   if (x.rank() != 2 || x.dim(1) != xbar_->in_dim())
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
   const int64_t N = x.dim(0), out = xbar_->out_dim(), in = xbar_->in_dim();
+  Rng* rng = effective_read_rng();
+  if (batched_) {
+    Tensor y = xbar_->matmul(x, rng);
+    for (int64_t n = 0; n < N; ++n)
+      for (int64_t o = 0; o < out; ++o) y[n * out + o] += bias_[o];
+    return y;
+  }
   Tensor y({N, out});
   Tensor xi({in});
   for (int64_t n = 0; n < N; ++n) {
     std::copy(x.data() + n * in, x.data() + (n + 1) * in, xi.data());
-    Tensor yi = xbar_->matvec(xi, read_rng_);
+    Tensor yi = xbar_->matvec(xi, rng);
     for (int64_t o = 0; o < out; ++o) y[n * out + o] = yi[o] + bias_[o];
   }
   return y;
@@ -51,19 +58,38 @@ Tensor CrossbarConv2D::forward(const Tensor& x, bool) {
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
   const int64_t N = x.dim(0);
   const int64_t OH = geom_.out_h(), OW = geom_.out_w();
+  const int64_t P = OH * OW;
   const int64_t K2 = geom_.in_c * geom_.k_h * geom_.k_w;
   const int64_t img_in = geom_.in_c * geom_.in_h * geom_.in_w;
+  Rng* rng = effective_read_rng();
   Tensor y({N, out_c_, OH, OW});
-  std::vector<float> cols(static_cast<size_t>(K2 * OH * OW));
+  if (batched_) {
+    // One im2col matrix per image, fed to the crossbar column-major as it
+    // comes (P output pixels = P wordline vectors): whole tile passes
+    // instead of P independent MVMs, with no transpose pass. The staging
+    // tensor is a member so repeated forwards reuse its allocation.
+    if (cols_cm_.rank() != 2 || cols_cm_.dim(0) != K2 || cols_cm_.dim(1) != P)
+      cols_cm_ = Tensor({K2, P});
+    for (int64_t n = 0; n < N; ++n) {
+      im2col(x.data() + n * img_in, geom_, cols_cm_.data());
+      Tensor acts = xbar_->matmul_cols(cols_cm_, rng);  // (P, out_c)
+      float* out = y.data() + n * out_c_ * P;
+      for (int64_t o = 0; o < out_c_; ++o)
+        for (int64_t p = 0; p < P; ++p)
+          out[o * P + p] = acts[p * out_c_ + o] + bias_[o];
+    }
+    return y;
+  }
+  std::vector<float> cols(static_cast<size_t>(K2 * P));
   Tensor col({K2});
   for (int64_t n = 0; n < N; ++n) {
     im2col(x.data() + n * img_in, geom_, cols.data());
-    float* out = y.data() + n * out_c_ * OH * OW;
+    float* out = y.data() + n * out_c_ * P;
     // Each output pixel: one crossbar MVM over its im2col column.
-    for (int64_t p = 0; p < OH * OW; ++p) {
-      for (int64_t k = 0; k < K2; ++k) col[k] = cols[static_cast<size_t>(k * OH * OW + p)];
-      Tensor acts = xbar_->matvec(col, read_rng_);
-      for (int64_t o = 0; o < out_c_; ++o) out[o * OH * OW + p] = acts[o] + bias_[o];
+    for (int64_t p = 0; p < P; ++p) {
+      for (int64_t k = 0; k < K2; ++k) col[k] = cols[static_cast<size_t>(k * P + p)];
+      Tensor acts = xbar_->matvec(col, rng);
+      for (int64_t o = 0; o < out_c_; ++o) out[o * P + p] = acts[o] + bias_[o];
     }
   }
   return y;
@@ -92,6 +118,31 @@ nn::Sequential program_to_crossbars(const nn::Sequential& model,
     }
   }
   return out;
+}
+
+namespace {
+template <typename Fn>
+void for_each_crossbar_layer(nn::Sequential& model, const Fn& fn) {
+  for (int64_t i = 0; i < model.num_layers(); ++i) {
+    nn::Layer& l = model.layer(i);
+    if (auto* d = dynamic_cast<CrossbarDense*>(&l)) {
+      fn(*d);
+    } else if (auto* c = dynamic_cast<CrossbarConv2D*>(&l)) {
+      fn(*c);
+    } else if (auto* s = dynamic_cast<nn::Sequential*>(&l)) {
+      for_each_crossbar_layer(*s, fn);
+    }
+  }
+}
+}  // namespace
+
+void set_read_seeds(nn::Sequential& model, uint64_t seed) {
+  Rng derive(seed);
+  for_each_crossbar_layer(model, [&](auto& l) { l.set_read_seed(derive.next_u64()); });
+}
+
+void set_batched(nn::Sequential& model, bool batched) {
+  for_each_crossbar_layer(model, [&](auto& l) { l.set_batched(batched); });
 }
 
 }  // namespace cn::analog

@@ -9,9 +9,15 @@
 // can be validated end-to-end: at matched programming σ the two paths must
 // produce statistically indistinguishable accuracy (see
 // tests/test_crossbar_exec.cpp and examples/crossbar_inspect.cpp).
+//
+// Both layers default to the batched execution path (CrossbarArray::matmul,
+// whole batches per tile pass); set_batched(false) restores the original
+// per-column matvec loop, kept as the baseline for bench_runtime and the
+// exact-equivalence tests.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "analog/crossbar.h"
 #include "nn/conv2d.h"
@@ -34,13 +40,28 @@ class CrossbarDense final : public nn::Layer {
   bool is_analog() const override { return true; }
 
   const CrossbarArray& array() const { return *xbar_; }
-  /// Enables per-read noise using the given stream (nullptr disables).
+  /// Enables per-read noise using an external stream (nullptr disables).
+  /// The stream is shared by clones — single-threaded use only; concurrent
+  /// chip instances must use set_read_seed instead.
   void set_read_rng(Rng* rng) { read_rng_ = rng; }
+  /// Enables per-read noise from a layer-owned stream. Clones copy the
+  /// stream state by value, so each clone draws independently — safe for
+  /// concurrent chip instances (give every instance its own seed).
+  void set_read_seed(uint64_t seed) { owned_read_rng_.emplace(seed); }
+  /// Switches between batched matmul (default) and per-column matvec.
+  void set_batched(bool batched) { batched_ = batched; }
 
  private:
+  Rng* effective_read_rng() {
+    if (read_rng_) return read_rng_;
+    return owned_read_rng_ ? &*owned_read_rng_ : nullptr;
+  }
+
   std::shared_ptr<CrossbarArray> xbar_;  // shared by clones (programmed once)
   Tensor bias_;
   Rng* read_rng_ = nullptr;
+  std::optional<Rng> owned_read_rng_;
+  bool batched_ = true;
 };
 
 /// Inference-only Conv2D executed on a programmed crossbar array
@@ -58,13 +79,23 @@ class CrossbarConv2D final : public nn::Layer {
 
   const CrossbarArray& array() const { return *xbar_; }
   void set_read_rng(Rng* rng) { read_rng_ = rng; }
+  void set_read_seed(uint64_t seed) { owned_read_rng_.emplace(seed); }
+  void set_batched(bool batched) { batched_ = batched; }
 
  private:
+  Rng* effective_read_rng() {
+    if (read_rng_) return read_rng_;
+    return owned_read_rng_ ? &*owned_read_rng_ : nullptr;
+  }
+
   std::shared_ptr<CrossbarArray> xbar_;
   ConvGeom geom_;
   int64_t out_c_;
   Tensor bias_;
+  Tensor cols_cm_;  // per-image im2col staging, reused across forwards
   Rng* read_rng_ = nullptr;
+  std::optional<Rng> owned_read_rng_;
+  bool batched_ = true;
 };
 
 /// Deep-copies `model`, replacing every Dense/Conv2D with its crossbar-backed
@@ -73,5 +104,13 @@ class CrossbarConv2D final : public nn::Layer {
 nn::Sequential program_to_crossbars(const nn::Sequential& model,
                                     const RramDeviceParams& dev, Rng& prog_rng,
                                     int64_t tile = 128);
+
+/// Gives every crossbar layer in `model` (recursing into nested Sequentials)
+/// its own read-noise stream, seeded deterministically from `seed`. Replaces
+/// the shared-Rng* pattern for concurrent chip instances.
+void set_read_seeds(nn::Sequential& model, uint64_t seed);
+
+/// Toggles batched vs per-column execution on every crossbar layer.
+void set_batched(nn::Sequential& model, bool batched);
 
 }  // namespace cn::analog

@@ -17,6 +17,10 @@ void quantize_tensor(Tensor& t, float lo, float hi, int levels);
 /// observed [min, max] range. bits <= 0 disables quantization.
 void dac_quantize(Tensor& x, int bits);
 
+/// dac_quantize over a raw span; the batched crossbar path quantizes each
+/// input row independently so it stays equivalent to per-vector matvec.
+void dac_quantize_span(float* x, int64_t n, int bits);
+
 /// ADC model: quantizes accumulated bitline currents to `bits` resolution
 /// over [-full_scale, full_scale]. bits <= 0 disables quantization.
 void adc_quantize(Tensor& currents, int bits, float full_scale);

@@ -1,31 +1,28 @@
 #include "core/montecarlo.h"
 
-#include "core/trainer.h"
-#include "nn/metrics.h"
+#include "runtime/chip_farm.h"
+#include "runtime/mc_engine.h"
 
 namespace cn::core {
 
 McResult mc_accuracy(const nn::Sequential& model, const data::Dataset& test,
                      const analog::VariationModel& vm, const McOptions& opts) {
-  nn::Sequential work = model.clone_model();
-  Rng rng(opts.seed);
-  nn::RunningStats stats;
-  McResult result;
-  result.samples.reserve(static_cast<size_t>(opts.samples));
-  // Samples run sequentially; each forward pass parallelizes over the batch,
-  // which keeps the thread pool saturated without nested blocking.
-  for (int s = 0; s < opts.samples; ++s) {
-    analog::perturb_from(work, vm, rng, opts.first_site);
-    const float acc = evaluate(work, test, opts.batch_size);
-    stats.add(acc);
-    result.samples.push_back(acc);
-  }
-  work.clear_all_variations();
-  result.mean = stats.mean();
-  result.stddev = stats.stddev();
-  result.min = stats.min();
-  result.max = stats.max();
-  return result;
+  // samples < 1 (e.g. CORRECTNET_MC=0) skips MC entirely, as the seed
+  // sequential loop did.
+  if (opts.samples < 1) return McResult{};
+  // One chip instance per sample, materialized by the farm with
+  // deterministic per-sample seeds and evaluated sample-parallel. Physical
+  // clones are bounded by the pool size (ChipFarmOptions.max_live default),
+  // so memory stays at seed-code levels on small machines.
+  runtime::ChipFarmOptions fo;
+  fo.instances = opts.samples;
+  fo.seed = opts.seed;
+  fo.first_site = opts.first_site;
+  runtime::ChipFarm farm(model, vm, fo);
+  runtime::McEngineOptions eo;
+  eo.batch_size = opts.batch_size;
+  runtime::McEngine engine(farm, eo);
+  return engine.accuracy(test);
 }
 
 }  // namespace cn::core

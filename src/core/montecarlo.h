@@ -32,7 +32,10 @@ struct McOptions {
 };
 
 /// Accuracy statistics over `opts.samples` chip instances. The model is
-/// cloned internally, so the caller's weights are untouched.
+/// cloned internally, so the caller's weights are untouched. Implemented on
+/// the runtime subsystem (runtime::ChipFarm + runtime::McEngine): samples
+/// get deterministic per-sample seeds and evaluate in parallel, with
+/// bit-identical results for any thread count.
 McResult mc_accuracy(const nn::Sequential& model, const data::Dataset& test,
                      const analog::VariationModel& vm, const McOptions& opts);
 

@@ -1,23 +1,34 @@
 #include "core/sensitivity.h"
 
+#include <algorithm>
+
+#include "runtime/chip_farm.h"
+#include "runtime/mc_engine.h"
+
 namespace cn::core {
 
 std::vector<SensitivityPoint> sensitivity_sweep(const nn::Sequential& model,
                                                 const data::Dataset& test,
                                                 const analog::VariationModel& vm,
                                                 const McOptions& opts) {
-  nn::Sequential probe = model.clone_model();
-  const int64_t sites = static_cast<int64_t>(probe.analog_sites().size());
-  std::vector<SensitivityPoint> out;
-  out.reserve(static_cast<size_t>(sites));
-  for (int64_t i = 0; i < sites; ++i) {
-    McOptions o = opts;
-    o.first_site = i;
-    o.seed = opts.seed + static_cast<uint64_t>(i) * 1000003ull;
-    const McResult r = mc_accuracy(probe, test, vm, o);
-    out.push_back(SensitivityPoint{i, r.mean, r.stddev});
+  // One farm serves every sweep point: reconfigure() re-keys the live chip
+  // clones instead of re-deriving them from scratch per point.
+  runtime::ChipFarmOptions fo;
+  fo.instances = std::max(opts.samples, 1);
+  fo.seed = opts.seed;
+  runtime::ChipFarm farm(model, vm, fo);
+  const int64_t sites = farm.num_analog_sites();
+  if (opts.samples < 1) {
+    // No MC budget (e.g. CORRECTNET_MC=0): zero-stat points, like the seed
+    // loop produced.
+    std::vector<SensitivityPoint> out;
+    for (int64_t i = 0; i < sites; ++i) out.push_back(SensitivityPoint{i, 0.0, 0.0});
+    return out;
   }
-  return out;
+  runtime::McEngineOptions eo;
+  eo.batch_size = opts.batch_size;
+  runtime::McEngine engine(farm, eo);
+  return engine.sensitivity_sweep(test, sites, opts.seed);
 }
 
 int64_t compensation_candidate_count(const std::vector<SensitivityPoint>& sweep,

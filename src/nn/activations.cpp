@@ -5,19 +5,19 @@
 namespace cn::nn {
 
 Tensor ReLU::forward(const Tensor& x, bool train) {
+  // Branchless: sign-random activations make the naive `if` loop pay a
+  // mispredict per element, which dominated inference profiles.
   Tensor y = x;
+  float* yd = y.data();
   if (train) {
     mask_ = Tensor(x.shape());
+    float* md = mask_.data();
     for (int64_t i = 0; i < y.size(); ++i) {
-      if (y[i] > 0.0f) {
-        mask_[i] = 1.0f;
-      } else {
-        y[i] = 0.0f;
-      }
+      md[i] = yd[i] > 0.0f ? 1.0f : 0.0f;
+      yd[i] = std::max(yd[i], 0.0f);
     }
   } else {
-    for (int64_t i = 0; i < y.size(); ++i)
-      if (y[i] < 0.0f) y[i] = 0.0f;
+    for (int64_t i = 0; i < y.size(); ++i) yd[i] = std::max(yd[i], 0.0f);
   }
   return y;
 }

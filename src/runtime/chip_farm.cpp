@@ -1,0 +1,81 @@
+#include "runtime/chip_farm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/threadpool.h"
+
+namespace cn::runtime {
+
+ChipFarm::ChipFarm(const nn::Sequential& base, const analog::VariationModel& vm,
+                   const ChipFarmOptions& opts)
+    : base_(base.clone_model()), vm_(vm), crossbar_(false), opts_(opts) {
+  init_slots();
+}
+
+ChipFarm::ChipFarm(const nn::Sequential& base, const analog::RramDeviceParams& dev,
+                   const ChipFarmOptions& opts)
+    : base_(base.clone_model()), dev_(dev), crossbar_(true), opts_(opts) {
+  if (opts.first_site != 0)
+    throw std::invalid_argument("ChipFarm: crossbar chips have no factor sites");
+  init_slots();
+}
+
+void ChipFarm::init_slots() {
+  if (opts_.instances < 1)
+    throw std::invalid_argument("ChipFarm: need at least one instance");
+  int64_t live = opts_.max_live;
+  if (live <= 0)
+    live = std::min<int64_t>(opts_.instances,
+                             std::max<int64_t>(1, ThreadPool::global().size()));
+  live = std::min(live, opts_.instances);
+  slots_.resize(static_cast<size_t>(live));
+}
+
+uint64_t ChipFarm::chip_seed(int64_t s) const {
+  return mix64(opts_.seed ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(s + 1)));
+}
+
+nn::Sequential& ChipFarm::chip(int64_t s) {
+  if (s < 0 || s >= opts_.instances)
+    throw std::out_of_range("ChipFarm::chip: bad chip index");
+  const int64_t slot = s % num_live();
+  Slot& sl = slots_[static_cast<size_t>(slot)];
+  if (sl.sample != s) {
+    populate(slot, s);
+    sl.sample = s;
+  } else if (crossbar_) {
+    // Re-arm the read-noise streams on every handout: a persistent slot must
+    // not remember noise draws a previous evaluation consumed, or repeated
+    // runs would depend on how many slots the farm keeps live.
+    analog::set_read_seeds(*sl.model, read_seed(s));
+  }
+  return *sl.model;
+}
+
+uint64_t ChipFarm::read_seed(int64_t s) const {
+  return mix64(chip_seed(s) ^ 0xC2B2AE3D27D4EB4Full);
+}
+
+void ChipFarm::populate(int64_t slot, int64_t s) {
+  Slot& sl = slots_[static_cast<size_t>(slot)];
+  Rng rng(chip_seed(s));
+  if (crossbar_) {
+    sl.model = std::make_unique<nn::Sequential>(
+        analog::program_to_crossbars(base_, dev_, rng, opts_.tile));
+    analog::set_read_seeds(*sl.model, read_seed(s));
+    return;
+  }
+  if (!sl.model) sl.model = std::make_unique<nn::Sequential>(base_.clone_model());
+  analog::perturb_from(*sl.model, vm_, rng, opts_.first_site);
+}
+
+void ChipFarm::reconfigure(uint64_t seed, int64_t first_site) {
+  if (crossbar_ && first_site != 0)
+    throw std::invalid_argument("ChipFarm: crossbar chips have no factor sites");
+  opts_.seed = seed;
+  opts_.first_site = first_site;
+  for (Slot& sl : slots_) sl.sample = -1;
+}
+
+}  // namespace cn::runtime

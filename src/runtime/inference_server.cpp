@@ -1,0 +1,153 @@
+#include "runtime/inference_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cn::runtime {
+
+InferenceServer::InferenceServer(ChipFarm& farm, const InferenceServerOptions& opts)
+    : farm_(farm), opts_(opts) {
+  if (opts_.max_batch < 1)
+    throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
+  const int workers = static_cast<int>(std::clamp<int64_t>(
+      opts_.workers, 1, farm_.num_live()));
+  opts_.workers = workers;
+  // Materialize each worker's chip up front: farm slots are lazy and
+  // worker w exclusively owns chip w from here on.
+  for (int w = 0; w < workers; ++w) farm_.chip(w);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Tensor> InferenceServer::submit(Tensor input) {
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+  {
+    // Record the wall-clock start before the request becomes visible to the
+    // workers, so a fast completion can never observe an unset first_submit_.
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (!saw_submit_) {
+      first_submit_ = req.enqueued;
+      saw_submit_ = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) throw std::logic_error("InferenceServer: submit after shutdown");
+    if (input_shape_.empty()) {
+      input_shape_ = req.input.shape();
+    } else if (req.input.shape() != input_shape_) {
+      throw std::invalid_argument("InferenceServer: input shape " +
+                                  to_string(req.input.shape()) + " != expected " +
+                                  to_string(input_shape_));
+    }
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void InferenceServer::worker_loop(int worker) {
+  nn::Sequential& chip = farm_.chip(worker);
+  const auto max_wait = std::chrono::microseconds(std::max<int64_t>(0, opts_.max_wait_us));
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        if (!queue_.empty()) {
+          if (stop_ || static_cast<int64_t>(queue_.size()) >= opts_.max_batch) break;
+          // Flush once the oldest pending request has waited long enough;
+          // otherwise sleep until that deadline (or new arrivals/shutdown).
+          const auto deadline = queue_.front().enqueued + max_wait;
+          if (std::chrono::steady_clock::now() >= deadline) break;
+          cv_.wait_until(lk, deadline);
+          continue;
+        }
+        if (stop_) return;
+        cv_.wait(lk);
+      }
+      const int64_t take =
+          std::min<int64_t>(opts_.max_batch, static_cast<int64_t>(queue_.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // More work may remain (e.g. during drain); let a sibling grab it while
+    // this worker runs the forward pass.
+    cv_.notify_one();
+    run_batch(chip, batch);
+  }
+}
+
+void InferenceServer::run_batch(nn::Sequential& chip, std::vector<Request>& batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  Shape batch_shape = batch[0].input.shape();
+  batch_shape.insert(batch_shape.begin(), b);
+  Tensor stacked(batch_shape);
+  const int64_t stride = batch[0].input.size();
+  for (int64_t i = 0; i < b; ++i)
+    std::copy(batch[static_cast<size_t>(i)].input.data(),
+              batch[static_cast<size_t>(i)].input.data() + stride,
+              stacked.data() + i * stride);
+  Tensor out;
+  std::exception_ptr err;
+  try {
+    out = chip.forward(stacked, /*train=*/false);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const auto done = std::chrono::steady_clock::now();
+  // Record stats before resolving the promises: a client that has seen its
+  // future complete must also see itself counted.
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.requests += static_cast<uint64_t>(b);
+    stats_.batches += 1;
+    if (b >= opts_.max_batch) stats_.full_batches += 1;
+    for (const auto& req : batch)
+      stats_.total_latency_us +=
+          std::chrono::duration<double, std::micro>(done - req.enqueued).count();
+    last_done_ = std::max(last_done_, done);
+    stats_.wall_seconds =
+        std::chrono::duration<double>(last_done_ - first_submit_).count();
+  }
+  if (err) {
+    for (auto& req : batch) req.promise.set_exception(err);
+    return;
+  }
+  const int64_t out_stride = out.size() / b;
+  Shape row_shape(out.shape().begin() + 1, out.shape().end());
+  for (int64_t i = 0; i < b; ++i) {
+    Tensor row(row_shape);
+    std::copy(out.data() + i * out_stride, out.data() + (i + 1) * out_stride,
+              row.data());
+    batch[static_cast<size_t>(i)].promise.set_value(std::move(row));
+  }
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace cn::runtime

@@ -1,0 +1,101 @@
+// InferenceServer: a micro-batching request scheduler over a ChipFarm.
+//
+// Clients submit single inputs and get a std::future for the model output;
+// worker threads coalesce queued requests into batches (up to max_batch, or
+// whatever arrived within max_wait_us of the oldest pending request) and run
+// them through a dedicated chip instance. This is the serving shape of
+// graph-level inference runtimes (program once, batch aggressively, schedule
+// across a pool) applied to the analog-chip simulator: batching feeds the
+// crossbar matmul path whole tile passes instead of per-request MVMs.
+//
+// Latency/throughput counters are kept per server and snapshot via stats().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/chip_farm.h"
+#include "tensor/tensor.h"
+
+namespace cn::runtime {
+
+struct InferenceServerOptions {
+  int64_t max_batch = 32;     // coalesce at most this many requests
+  int64_t max_wait_us = 2000; // flush a partial batch after this long
+  int workers = 1;            // worker w runs chips on farm slot w (clamped
+                              // to the farm's live slots)
+};
+
+struct ServerStats {
+  uint64_t requests = 0;       // completed requests
+  uint64_t batches = 0;        // forward passes executed
+  uint64_t full_batches = 0;   // batches that hit max_batch
+  double total_latency_us = 0; // submit -> completion, summed over requests
+  double wall_seconds = 0;     // first submit -> last completion
+
+  double avg_batch() const {
+    return batches ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
+  }
+  double avg_latency_us() const {
+    return requests ? total_latency_us / static_cast<double>(requests) : 0.0;
+  }
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+  }
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(ChipFarm& farm, const InferenceServerOptions& opts = {});
+  ~InferenceServer();  // drains the queue, then joins the workers
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one input (shape = model input without the batch dimension,
+  /// e.g. (C,H,W)); the future resolves to the model output row for it.
+  /// Every queued input must share one shape; mismatches and submits after
+  /// shutdown() throw.
+  std::future<Tensor> submit(Tensor input);
+
+  /// Processes every queued request, then stops the workers. Idempotent;
+  /// also called by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop(int worker);
+  void run_batch(nn::Sequential& chip, std::vector<Request>& batch);
+
+  ChipFarm& farm_;
+  InferenceServerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  Shape input_shape_;  // fixed by the first submit
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_done_;
+  bool saw_submit_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cn::runtime

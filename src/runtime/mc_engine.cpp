@@ -1,0 +1,53 @@
+#include "runtime/mc_engine.h"
+
+#include "core/trainer.h"
+#include "nn/metrics.h"
+#include "tensor/threadpool.h"
+
+namespace cn::runtime {
+
+McEngine::McEngine(ChipFarm& farm, McEngineOptions opts)
+    : farm_(farm), opts_(opts) {}
+
+core::McResult McEngine::accuracy(const data::Dataset& test) {
+  const int64_t chips = farm_.num_chips();
+  const int64_t live = farm_.num_live();
+  core::McResult result;
+  result.samples.resize(static_cast<size_t>(chips));
+  // Slot k evaluates chips k, k+live, k+2*live, ... — each physical slot is
+  // touched by exactly one task, so chip materialization never races.
+  auto eval_slot = [&](int64_t k) {
+    for (int64_t s = k; s < chips; s += live)
+      result.samples[static_cast<size_t>(s)] =
+          core::evaluate(farm_.chip(s), test, opts_.batch_size);
+  };
+  if (opts_.threads == 1 || live == 1) {
+    for (int64_t k = 0; k < live; ++k) eval_slot(k);
+  } else {
+    ThreadPool::global().parallel_for(0, live, [&](int64_t lo, int64_t hi) {
+      for (int64_t k = lo; k < hi; ++k) eval_slot(k);
+    }, 1);
+  }
+  nn::RunningStats stats;
+  for (double s : result.samples) stats.add(s);
+  result.mean = stats.mean();
+  result.stddev = stats.stddev();
+  result.min = stats.min();
+  result.max = stats.max();
+  return result;
+}
+
+std::vector<core::SensitivityPoint> McEngine::sensitivity_sweep(
+    const data::Dataset& test, int64_t num_sites, uint64_t base_seed,
+    uint64_t seed_stride) {
+  std::vector<core::SensitivityPoint> out;
+  out.reserve(static_cast<size_t>(num_sites));
+  for (int64_t i = 0; i < num_sites; ++i) {
+    farm_.reconfigure(base_seed + static_cast<uint64_t>(i) * seed_stride, i);
+    const core::McResult r = accuracy(test);
+    out.push_back(core::SensitivityPoint{i, r.mean, r.stddev});
+  }
+  return out;
+}
+
+}  // namespace cn::runtime

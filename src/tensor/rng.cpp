@@ -16,6 +16,11 @@ uint64_t splitmix64(uint64_t& state) {
 }
 }  // namespace
 
+uint64_t mix64(uint64_t z) {
+  uint64_t state = z;
+  return splitmix64(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

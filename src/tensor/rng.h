@@ -11,6 +11,11 @@
 
 namespace cn {
 
+/// splitmix64 finalizer: spreads correlated inputs (seed ^ index mixes) into
+/// independent-looking seeds. Used to derive per-chip and per-read-noise
+/// streams deterministically.
+uint64_t mix64(uint64_t z);
+
 /// xoshiro256** generator: fast, high-quality, splittable via `fork`.
 class Rng {
  public:

@@ -5,6 +5,12 @@
 
 namespace cn {
 
+namespace {
+// The pool a worker thread belongs to, or nullptr on external threads. Lets
+// parallel_for detect re-entrant use from inside one of its own tasks.
+thread_local const ThreadPool* tl_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -22,6 +28,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,6 +50,13 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
   const int64_t nthreads = static_cast<int64_t>(size());
   // Small ranges: run inline, skip synchronization overhead.
   if (n <= min_chunk || nthreads <= 1) {
+    fn(begin, end);
+    return;
+  }
+  // Re-entrant call from one of our own workers: run inline. Queueing child
+  // chunks and blocking would deadlock once every worker waits on a nested
+  // loop (e.g. MC sample tasks whose forward passes also call parallel_for).
+  if (tl_current_pool == this) {
     fn(begin, end);
     return;
   }

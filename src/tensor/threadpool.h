@@ -27,6 +27,9 @@ class ThreadPool {
 
   /// Runs fn(begin..end) split into contiguous chunks across the pool,
   /// blocking until all chunks finish. fn(lo, hi) processes [lo, hi).
+  /// Nested calls from inside a pool task run inline (single chunk), so
+  /// outer parallelism (e.g. runtime::McEngine samples) composes with inner
+  /// parallel kernels without deadlocking the pool.
   void parallel_for(int64_t begin, int64_t end,
                     const std::function<void(int64_t, int64_t)>& fn,
                     int64_t min_chunk = 1);

@@ -1,0 +1,379 @@
+// The batched/parallel inference runtime: ChipFarm determinism, McEngine
+// thread-count invariance, batched crossbar execution equivalence, the
+// per-clone read-noise streams, and the micro-batching InferenceServer.
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analog/crossbar_layers.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "runtime/chip_farm.h"
+#include "runtime/inference_server.h"
+#include "runtime/mc_engine.h"
+#include "tensor/ops.h"
+
+namespace cn::runtime {
+namespace {
+
+analog::RramDeviceParams quiet_dev() {
+  analog::RramDeviceParams dev;
+  dev.g_min = 1e-6f;
+  dev.g_max = 1e-4f;
+  return dev;
+}
+
+// Shared tiny trained model + dataset.
+struct Fixture {
+  data::SplitDataset ds;
+  nn::Sequential model{"m"};
+
+  Fixture() {
+    data::DigitsSpec spec;
+    spec.train_count = 500;
+    spec.test_count = 150;
+    ds = data::make_digits(spec);
+    Rng rng(1);
+    model = models::lenet5(1, 28, 10, rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 2;
+    core::train(model, ds.train, ds.test, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+// ---------- batched crossbar execution ----------
+
+TEST(CrossbarMatmul, MatchesMatvecExactlyUnderQuantization) {
+  // Stress every deterministic device feature: programming variation,
+  // conductance levels, DAC and ADC quantization, multiple tiles.
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.2f;
+  dev.conductance_levels = 16;
+  dev.adc_bits = 8;
+  dev.dac_bits = 6;
+  Rng rng(11);
+  Tensor w({9, 20});  // (out, in): 20 inputs, 9 outputs
+  rng.fill_normal(w, 0.0f, 0.5f);
+  Rng prog(12);
+  analog::CrossbarArray xbar(w, dev, prog, /*tile=*/7);  // force tiling both ways
+  Tensor x({5, 20});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor y_batch = xbar.matmul(x);
+  ASSERT_EQ(y_batch.dim(0), 5);
+  ASSERT_EQ(y_batch.dim(1), 9);
+  Tensor x_cm({20, 5});  // column-major variant (conv im2col layout)
+  for (int64_t n = 0; n < 5; ++n)
+    for (int64_t k = 0; k < 20; ++k) x_cm[k * 5 + n] = x[n * 20 + k];
+  Tensor y_cols = xbar.matmul_cols(x_cm);
+  ASSERT_EQ(y_cols.shape(), y_batch.shape());
+  Tensor xi({20});
+  for (int64_t n = 0; n < 5; ++n) {
+    std::copy(x.data() + n * 20, x.data() + (n + 1) * 20, xi.data());
+    Tensor yi = xbar.matvec(xi);
+    for (int64_t o = 0; o < 9; ++o) {
+      EXPECT_EQ(y_batch[n * 9 + o], yi[o]) << "row " << n << " col " << o;
+      EXPECT_EQ(y_cols[n * 9 + o], yi[o]) << "row " << n << " col " << o;
+    }
+  }
+}
+
+TEST(CrossbarLayers, BatchedForwardMatchesPerColumnPath) {
+  auto& f = fixture();
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.3f;
+  Rng prog(21);
+  nn::Sequential chip = analog::program_to_crossbars(f.model, dev, prog);
+  Tensor x({4, 1, 28, 28});
+  std::copy(f.ds.test.images.data(), f.ds.test.images.data() + x.size(), x.data());
+  analog::set_batched(chip, true);
+  Tensor y_batched = chip.forward(x, false);
+  analog::set_batched(chip, false);
+  Tensor y_columns = chip.forward(x, false);
+  ASSERT_EQ(y_batched.shape(), y_columns.shape());
+  for (int64_t i = 0; i < y_batched.size(); ++i)
+    EXPECT_EQ(y_batched[i], y_columns[i]) << "logit " << i;
+}
+
+// ---------- ChipFarm ----------
+
+TEST(ChipFarm, ChipSeedsAreDeterministicAndDistinct) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.3f};
+  ChipFarmOptions fo;
+  fo.instances = 4;
+  fo.seed = 7;
+  ChipFarm a(f.model, vm, fo);
+  ChipFarm b(f.model, vm, fo);
+  for (int64_t s = 0; s < 4; ++s) EXPECT_EQ(a.chip_seed(s), b.chip_seed(s));
+  EXPECT_NE(a.chip_seed(0), a.chip_seed(1));
+  EXPECT_NE(a.chip_seed(1), a.chip_seed(2));
+}
+
+TEST(ChipFarm, SlotReuseReproducesSameChip) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.4f};
+  ChipFarmOptions fo;
+  fo.instances = 3;
+  fo.max_live = 1;  // all chips share one physical slot
+  ChipFarm farm(f.model, vm, fo);
+  Tensor x({2, 1, 28, 28});
+  std::copy(f.ds.test.images.data(), f.ds.test.images.data() + x.size(), x.data());
+  Tensor y0_first = farm.chip(0).forward(x, false);
+  Tensor y1 = farm.chip(1).forward(x, false);      // evicts chip 0
+  Tensor y0_again = farm.chip(0).forward(x, false);  // re-materialized
+  for (int64_t i = 0; i < y0_first.size(); ++i)
+    EXPECT_EQ(y0_first[i], y0_again[i]);
+  // And the chips genuinely differ from each other.
+  double diff = 0.0;
+  for (int64_t i = 0; i < y1.size(); ++i)
+    diff += std::abs(static_cast<double>(y1[i]) - y0_first[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+// ---------- McEngine determinism ----------
+
+TEST(McEngine, SamplesIdenticalAcrossThreadAndSlotCounts) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.4f};
+
+  auto run = [&](int64_t max_live, int threads) {
+    ChipFarmOptions fo;
+    fo.instances = 6;
+    fo.seed = 99;
+    fo.max_live = max_live;
+    ChipFarm farm(f.model, vm, fo);
+    McEngineOptions eo;
+    eo.batch_size = 64;
+    eo.threads = threads;
+    return McEngine(farm, eo).accuracy(f.ds.test);
+  };
+
+  const core::McResult serial = run(1, 1);
+  const core::McResult pooled = run(3, 0);
+  const core::McResult wide = run(6, 0);
+  ASSERT_EQ(serial.samples.size(), 6u);
+  ASSERT_EQ(pooled.samples.size(), 6u);
+  ASSERT_EQ(wide.samples.size(), 6u);
+  for (size_t s = 0; s < 6; ++s) {
+    EXPECT_DOUBLE_EQ(serial.samples[s], pooled.samples[s]) << "sample " << s;
+    EXPECT_DOUBLE_EQ(serial.samples[s], wide.samples[s]) << "sample " << s;
+  }
+  EXPECT_DOUBLE_EQ(serial.mean, wide.mean);
+  EXPECT_DOUBLE_EQ(serial.stddev, wide.stddev);
+}
+
+TEST(McEngine, CrossbarReadNoiseIdenticalAcrossSlotCountsAndRuns) {
+  // Regression: a persistent slot must not remember read-noise draws a
+  // previous evaluation consumed — chip handouts re-arm the streams, so
+  // results cannot depend on max_live or on how often the farm was used.
+  auto& f = fixture();
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.2f;
+  dev.read_sigma = 0.05f;
+  auto run = [&](int64_t max_live) {
+    ChipFarmOptions fo;
+    fo.instances = 3;
+    fo.seed = 5;
+    fo.max_live = max_live;
+    ChipFarm farm(f.model, dev, fo);
+    McEngineOptions eo;
+    eo.batch_size = 64;
+    McEngine engine(farm, eo);
+    const core::McResult first = engine.accuracy(f.ds.test);
+    const core::McResult second = engine.accuracy(f.ds.test);
+    for (size_t s = 0; s < first.samples.size(); ++s)
+      EXPECT_DOUBLE_EQ(first.samples[s], second.samples[s])
+          << "repeat run, max_live " << max_live << " sample " << s;
+    return first;
+  };
+  const core::McResult one = run(1);
+  const core::McResult all = run(3);
+  ASSERT_EQ(one.samples.size(), 3u);
+  for (size_t s = 0; s < 3; ++s)
+    EXPECT_DOUBLE_EQ(one.samples[s], all.samples[s]) << "sample " << s;
+}
+
+TEST(MonteCarlo, ZeroSampleBudgetIsANoop) {
+  // CORRECTNET_MC=0 feeds samples == 0 straight through; the seed loop
+  // returned empty stats instead of throwing.
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.3f};
+  core::McOptions opts;
+  opts.samples = 0;
+  const core::McResult r = core::mc_accuracy(f.model, f.ds.test, vm, opts);
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_EQ(r.mean, 0.0);
+  const auto sweep = core::sensitivity_sweep(f.model, f.ds.test, vm, opts);
+  EXPECT_EQ(sweep.size(), 5u);  // LeNet-5: 5 analog sites, zero stats
+  for (const auto& p : sweep) EXPECT_EQ(p.mean, 0.0);
+}
+
+TEST(McEngine, SensitivitySweepMatchesCoreApi) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.5f};
+  core::McOptions opts;
+  opts.samples = 3;
+  opts.seed = 17;
+  const auto via_core = core::sensitivity_sweep(f.model, f.ds.test, vm, opts);
+
+  nn::Sequential probe = f.model.clone_model();
+  const int64_t sites = static_cast<int64_t>(probe.analog_sites().size());
+  ChipFarmOptions fo;
+  fo.instances = opts.samples;
+  fo.seed = opts.seed;
+  ChipFarm farm(f.model, vm, fo);
+  McEngineOptions eo;
+  eo.batch_size = opts.batch_size;
+  const auto via_engine =
+      McEngine(farm, eo).sensitivity_sweep(f.ds.test, sites, opts.seed);
+
+  ASSERT_EQ(via_core.size(), via_engine.size());
+  for (size_t i = 0; i < via_core.size(); ++i) {
+    EXPECT_EQ(via_core[i].first_site, via_engine[i].first_site);
+    EXPECT_DOUBLE_EQ(via_core[i].mean, via_engine[i].mean);
+    EXPECT_DOUBLE_EQ(via_core[i].stddev, via_engine[i].stddev);
+  }
+}
+
+// ---------- read-noise streams across concurrent clones ----------
+
+TEST(ReadNoise, OwnedStreamsAreDeterministicUnderConcurrency) {
+  auto& f = fixture();
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.read_sigma = 0.05f;
+  Rng prog(31);
+  nn::Sequential chip = analog::program_to_crossbars(f.model, dev, prog);
+  analog::set_read_seeds(chip, 555);
+
+  Tensor x({2, 1, 28, 28});
+  std::copy(f.ds.test.images.data(), f.ds.test.images.data() + x.size(), x.data());
+
+  // Reference: one clone, K sequential forwards (each draws fresh noise, so
+  // consecutive outputs differ but the whole sequence is seed-determined).
+  constexpr int kForwards = 4;
+  std::vector<Tensor> expected;
+  {
+    auto ref = chip.clone();  // clones copy the owned rng state
+    for (int i = 0; i < kForwards; ++i) expected.push_back(ref->forward(x, false));
+  }
+  double drift = 0.0;
+  for (int64_t i = 0; i < expected[0].size(); ++i)
+    drift += std::abs(static_cast<double>(expected[0][i]) - expected[1][i]);
+  EXPECT_GT(drift, 0.0) << "read noise should vary between reads";
+
+  // Concurrent clones: every clone starts from the same copied stream state,
+  // so each thread must reproduce the reference sequence exactly. With the
+  // old shared-Rng* wiring the interleaved draws made this nondeterministic
+  // (and racy).
+  constexpr int kThreads = 4;
+  std::vector<std::vector<Tensor>> got(kThreads);
+  {
+    std::vector<std::unique_ptr<nn::Layer>> clones;
+    for (int t = 0; t < kThreads; ++t) clones.push_back(chip.clone());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kForwards; ++i)
+          got[static_cast<size_t>(t)].push_back(clones[static_cast<size_t>(t)]->forward(x, false));
+      });
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kForwards; ++i)
+      for (int64_t j = 0; j < expected[static_cast<size_t>(i)].size(); ++j)
+        ASSERT_EQ(got[static_cast<size_t>(t)][static_cast<size_t>(i)][j],
+                  expected[static_cast<size_t>(i)][j])
+            << "thread " << t << " forward " << i << " elem " << j;
+}
+
+// ---------- InferenceServer ----------
+
+TEST(InferenceServer, OutputsMatchDirectForwardAndStatsAddUp) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kNone, 0.0f};
+  ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  ChipFarm farm(f.model, vm, fo);
+
+  InferenceServerOptions so;
+  so.max_batch = 4;
+  so.max_wait_us = 500;
+  so.workers = 1;
+  constexpr int kRequests = 10;
+  std::vector<std::future<Tensor>> futs;
+  {
+    InferenceServer server(farm, so);
+    for (int i = 0; i < kRequests; ++i)
+      futs.push_back(server.submit(f.ds.test.image(i)));
+    for (auto& fut : futs) fut.wait();
+    const ServerStats st = server.stats();
+    EXPECT_EQ(st.requests, static_cast<uint64_t>(kRequests));
+    EXPECT_GE(st.batches, 1u);
+    EXPECT_LE(st.batches, static_cast<uint64_t>(kRequests));
+    EXPECT_GT(st.avg_batch(), 0.0);
+    EXPECT_GE(st.avg_latency_us(), 0.0);
+    server.shutdown();
+    EXPECT_THROW(server.submit(f.ds.test.image(0)), std::logic_error);
+  }
+  // sigma = 0 farm chip == clean model; single-sample forwards are the
+  // ground truth (row results are batch-composition independent).
+  for (int i = 0; i < kRequests; ++i) {
+    Tensor img = f.ds.test.image(i);
+    Shape batched_shape = img.shape();
+    batched_shape.insert(batched_shape.begin(), 1);
+    Tensor ref = f.model.forward(img.reshaped(batched_shape), false);
+    Tensor got = futs[static_cast<size_t>(i)].get();
+    ASSERT_EQ(got.size(), ref.size());
+    for (int64_t j = 0; j < ref.size(); ++j)
+      EXPECT_FLOAT_EQ(got[j], ref[j]) << "request " << i << " logit " << j;
+  }
+}
+
+TEST(InferenceServer, CoalescesConcurrentClientsIntoBatches) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kNone, 0.0f};
+  ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.max_live = 2;
+  ChipFarm farm(f.model, vm, fo);
+  InferenceServerOptions so;
+  so.max_batch = 8;
+  so.max_wait_us = 20000;  // generous window so requests pile up
+  so.workers = 2;
+  InferenceServer server(farm, so);
+
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::mutex futs_mu;
+  std::vector<std::future<Tensor>> futs;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto fut = server.submit(f.ds.test.image((c * kPerClient + i) % f.ds.test.size()));
+        std::lock_guard<std::mutex> lk(futs_mu);
+        futs.push_back(std::move(fut));
+      }
+    });
+  for (auto& c : clients) c.join();
+  for (auto& fut : futs) fut.get();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, static_cast<uint64_t>(kClients * kPerClient));
+  // Micro-batching must actually coalesce: strictly fewer batches than
+  // requests (with a 20ms window, most land in full batches).
+  EXPECT_LT(st.batches, st.requests);
+  EXPECT_GT(st.avg_batch(), 1.0);
+  EXPECT_GT(st.throughput_rps(), 0.0);
+}
+
+}  // namespace
+}  // namespace cn::runtime

@@ -64,5 +64,35 @@ TEST(ThreadPool, GlobalPoolSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // Outer parallelism (runtime::McEngine samples) composes with inner
+  // parallel kernels: a nested call from inside a pool task must run inline
+  // instead of queueing chunks every blocked worker is waiting for.
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.parallel_for(0, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 100, [&](int64_t ilo, int64_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, NestedCallOnDifferentPoolStillDispatches) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int64_t> total{0};
+  outer.parallel_for(0, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      inner.parallel_for(0, 50, [&](int64_t ilo, int64_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 200);
+}
+
 }  // namespace
 }  // namespace cn
