@@ -1,0 +1,123 @@
+// bench_faultsim: fault-campaign throughput on the inference runtime.
+//
+// Times a faultsim::Campaign — a fault kind x severity x protection grid
+// executed as crossbar chip farms on McEngine — and reports scenarios/sec,
+// chip evaluations/sec and images/sec on the current machine (1 core in CI).
+// Also asserts the campaign determinism contract: a second run must
+// reproduce every per-chip accuracy sample bit for bit.
+//
+// Writes BENCH_faultsim.json (see bench::BenchJson). `--quick` shrinks the
+// grid for CI smoke runs.
+#include <chrono>
+#include <cstring>
+
+#include "common.h"
+#include "faultsim/campaign.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+cn::faultsim::Campaign make_campaign(const cn::nn::Sequential& model, bool quick) {
+  using namespace cn;
+  faultsim::CampaignOptions co;
+  co.chips = quick ? 2 : 6;
+  co.seed = 42;
+  co.batch_size = 128;
+  co.dev.program_sigma = 0.1f;
+  faultsim::Campaign c(co);
+  c.add_model("baseline", model, false);
+  if (quick) {
+    c.add_fault(faultsim::fault_free());
+    c.add_stuck_at_grid({0.02});
+    c.add_drift_grid({100.0});
+    c.add_ir_drop_grid({0.1});
+    c.add_thermal_grid({400.0});
+  } else {
+    c.add_fault(faultsim::fault_free());
+    c.add_stuck_at_grid({0.005, 0.02, 0.05});
+    c.add_drift_grid({10.0, 100.0, 1000.0});
+    c.add_ir_drop_grid({0.05, 0.1});
+    c.add_thermal_grid({350.0, 400.0, 500.0});
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int64_t test_count = quick ? 100 : 300;
+  std::printf("== bench_faultsim (%s, %lld test images) ==\n",
+              quick ? "quick" : "full", static_cast<long long>(test_count));
+
+  data::DigitsSpec spec;
+  spec.train_count = 800;
+  spec.test_count = test_count;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(2023);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  std::printf("  [train] LeNet5-Digits (%d epochs)...\n", cfg.epochs);
+  core::train(model, ds.train, ds.test, cfg);
+
+  faultsim::Campaign campaign = make_campaign(model, quick);
+  const int64_t scenarios = campaign.num_scenarios();
+  std::printf("  [campaign] %lld scenarios, warming up...\n",
+              static_cast<long long>(scenarios));
+
+  const auto t0 = Clock::now();
+  const faultsim::CampaignReport report = campaign.run(ds.test);
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const int64_t chip_evals = scenarios * report.chips;
+  const double images = static_cast<double>(chip_evals * test_count);
+  std::printf("  [campaign] %lld scenarios in %.2fs: %.2f scenarios/s, "
+              "%.1f chip-evals/s, %.0f images/s\n",
+              static_cast<long long>(scenarios), wall,
+              static_cast<double>(scenarios) / wall,
+              static_cast<double>(chip_evals) / wall, images / wall);
+  std::printf("  [campaign] grid mean accuracy %.3f, catastrophic chips %lld\n",
+              report.mean_accuracy("baseline"),
+              static_cast<long long>(report.total_catastrophic()));
+
+  // Determinism: a re-run must reproduce every sample bit for bit.
+  faultsim::Campaign again = make_campaign(model, quick);
+  const faultsim::CampaignReport repeat = again.run(ds.test);
+  bool identical = repeat.scenarios.size() == report.scenarios.size();
+  for (size_t i = 0; identical && i < report.scenarios.size(); ++i) {
+    const auto& a = report.scenarios[i].acc.samples;
+    const auto& b = repeat.scenarios[i].acc.samples;
+    identical = a.size() == b.size();
+    for (size_t s = 0; identical && s < a.size(); ++s) identical = a[s] == b[s];
+  }
+  std::printf("  [campaign] repeat run bit-identical: %s\n",
+              identical ? "yes" : "NO");
+
+  bench::BenchJson json("faultsim");
+  json.set("quick", quick);
+  json.set("test_images", test_count);
+  json.set("scenarios", scenarios);
+  json.set("chips_per_scenario", report.chips);
+  json.set("wall_s", wall);
+  json.set("scenarios_per_s", static_cast<double>(scenarios) / wall);
+  json.set("chip_evals_per_s", static_cast<double>(chip_evals) / wall);
+  json.set("images_per_s", images / wall);
+  json.set("grid_mean_acc", report.mean_accuracy("baseline"));
+  json.set("catastrophic", report.total_catastrophic());
+  json.set("deterministic", identical);
+  json.write();
+
+  if (!identical) {
+    std::printf("FAIL: campaign re-run diverged\n");
+    return 1;
+  }
+  std::printf("done.\n");
+  return 0;
+}

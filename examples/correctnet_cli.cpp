@@ -9,13 +9,28 @@
 //
 // Runs baseline -> suppression -> sensitivity -> compensation -> Monte-Carlo
 // and prints a summary; optionally saves the trained weights.
+//
+// Subcommand:
+//   correctnet_cli faults [--config PATH] [--out PATH] [--chips N]
+//                         [--epochs N] [--comp-epochs N] [--train N] [--test N]
+//                         [--sigma S]
+//
+// Trains the CorrectNet pipeline, then drives a faultsim::Campaign — device
+// faults (stuck-at cells, conductance drift, IR drop, temperature) swept
+// against the baseline, suppression-only, and compensated networks on the
+// crossbar substrate — and writes a JSON CampaignReport. The scenario grid
+// comes from a key=value config file (see examples/fault_campaign.cfg); a
+// built-in quick grid is used when --config is omitted.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/pipeline.h"
 #include "data/synthetic.h"
+#include "faultsim/campaign.h"
 #include "models/lenet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
@@ -78,10 +93,165 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+// ---------- faults subcommand ----------
+
+struct FaultArgs {
+  std::string config;  // key=value campaign file; empty = built-in quick grid
+  std::string out = "faultsim_report.json";
+  int64_t chips = 0;  // >0 overrides the config's chip count
+  int epochs = 3;
+  int comp_epochs = 3;
+  float sigma = 0.5f;
+  int64_t train = 800;
+  int64_t test = 200;
+};
+
+[[noreturn]] void usage_faults(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
+               "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
+               "          [--sigma S]\n",
+               argv0);
+  std::exit(2);
+}
+
+FaultArgs parse_faults(int argc, char** argv) {
+  FaultArgs a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string k = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_faults(argv[0]);
+      return argv[++i];
+    };
+    if (k == "--config") a.config = next();
+    else if (k == "--out") a.out = next();
+    else if (k == "--chips") a.chips = std::atoll(next());
+    else if (k == "--epochs") a.epochs = std::atoi(next());
+    else if (k == "--comp-epochs") a.comp_epochs = std::atoi(next());
+    else if (k == "--train") a.train = std::atoll(next());
+    else if (k == "--test") a.test = std::atoll(next());
+    else if (k == "--sigma") a.sigma = std::strtof(next(), nullptr);
+    else usage_faults(argv[0]);
+  }
+  return a;
+}
+
+// The grid used when no --config is given: one severity ladder per fault
+// kind, small enough for smoke runs.
+constexpr const char* kDefaultCampaign =
+    "chips = 4\n"
+    "seed = 42\n"
+    "catastrophic = 0.2\n"
+    "stuck.rates = 0.01, 0.05\n"
+    "drift.times = 100, 1000\n"
+    "ir.alphas = 0.1\n"
+    "thermal.temps = 400\n";
+
+int run_faults(int argc, char** argv) {
+  using namespace cn;
+  const FaultArgs args = parse_faults(argc, argv);
+
+  // Load and parse the campaign grid first: a bad --config path or value
+  // must fail before minutes of training, not after. Later keys override
+  // earlier ones, so flag overrides are plain appends.
+  std::string cfg_text = kDefaultCampaign;
+  if (!args.config.empty()) {
+    std::ifstream is(args.config);
+    if (!is) {
+      std::fprintf(stderr, "cannot open campaign config %s\n", args.config.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    cfg_text = ss.str();
+  }
+  if (args.chips > 0) cfg_text += "\nchips = " + std::to_string(args.chips) + "\n";
+  faultsim::Campaign campaign = [&] {
+    try {
+      return faultsim::campaign_from_config(
+          core::KeyValueConfig::from_string(cfg_text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad campaign config%s%s: %s\n",
+                   args.config.empty() ? "" : " ", args.config.c_str(), e.what());
+      std::exit(2);
+    }
+  }();
+
+  data::DigitsSpec spec;
+  spec.train_count = args.train;
+  spec.test_count = args.test;
+  data::SplitDataset ds = data::make_digits(spec);
+
+  core::PipelineConfig cfg;
+  cfg.name = "faults-lenet-digits";
+  cfg.sigma = args.sigma;
+  cfg.base_train.epochs = args.epochs;
+  cfg.lipschitz_train.epochs = args.epochs;
+  cfg.comp_train.epochs = args.comp_epochs;
+  cfg.comp_train.lr = 2e-3f;
+  cfg.mc.samples = 4;  // pipeline-internal MC; the campaign does the real sweep
+  cfg.plan_mode = core::PlanMode::kFixedRatio;
+  cfg.log = [](const std::string& s) { std::printf("%s\n", s.c_str()); };
+  auto make_model = [](Rng& rng) { return models::lenet5(1, 28, 10, rng); };
+  core::PipelineResult r = core::run_correctnet(make_model, ds.train, ds.test, cfg);
+
+  campaign.add_model("baseline", r.base_model, false);
+  campaign.add_model("suppressed", r.lipschitz_model, false);
+  campaign.add_model("corrected", r.corrected_model, true);
+  campaign.log = [](const std::string& s) {
+    std::printf("  [campaign] %s\n", s.c_str());
+  };
+
+  std::printf("\nrunning fault campaign: %lld scenarios (%lld fault specs x %lld "
+              "protection variants)\n",
+              static_cast<long long>(campaign.num_scenarios()),
+              static_cast<long long>(campaign.num_faults()),
+              static_cast<long long>(campaign.num_models()));
+  const faultsim::CampaignReport report = campaign.run(ds.test);
+
+  std::printf("\n==== fault campaign (%lld chips/scenario, %.2fs) ====\n",
+              static_cast<long long>(report.chips), report.wall_s);
+  std::printf("%-10s %-9s | %-22s %-22s %-22s\n", "fault", "severity", "baseline",
+              "suppressed", "corrected");
+  for (const auto* row : report.for_model("baseline")) {
+    const faultsim::ScenarioResult* sup = nullptr;
+    const faultsim::ScenarioResult* cor = nullptr;
+    for (const auto& s : report.scenarios) {
+      if (s.fault_kind != row->fault_kind || s.severity != row->severity) continue;
+      if (s.model_name == "suppressed") sup = &s;
+      if (s.model_name == "corrected") cor = &s;
+    }
+    auto cell = [](const faultsim::ScenarioResult* s) {
+      char buf[64];
+      if (!s) {
+        std::snprintf(buf, sizeof(buf), "-");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%5.2f%% +-%5.2f%% (%lldc)",
+                      100.0 * s->acc.mean, 100.0 * s->acc.stddev,
+                      static_cast<long long>(s->catastrophic));
+      }
+      return std::string(buf);
+    };
+    std::printf("%-10s %-9.4g | %-22s %-22s %-22s\n", row->fault_kind.c_str(),
+                row->severity, cell(row).c_str(), cell(sup).c_str(),
+                cell(cor).c_str());
+  }
+  std::printf("mean over grid: baseline %.2f%%, suppressed %.2f%%, corrected "
+              "%.2f%%; catastrophic chips: %lld\n",
+              100.0 * report.mean_accuracy("baseline"),
+              100.0 * report.mean_accuracy("suppressed"),
+              100.0 * report.mean_accuracy("corrected"),
+              static_cast<long long>(report.total_catastrophic()));
+  report.write_json(args.out);
+  std::printf("report -> %s\n", args.out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cn;
+  if (argc > 1 && std::strcmp(argv[1], "faults") == 0) return run_faults(argc, argv);
   const Args args = parse(argc, argv);
 
   // Dataset.

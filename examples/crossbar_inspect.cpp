@@ -45,11 +45,11 @@ int main() {
   report("programming variation sigma=0.5", dev);
 
   dev.program_sigma = 0.0f;
-  dev.adc_bits = 6;
+  dev.readout.adc_bits = 6;
   report("6-bit ADC readout", dev);
 
-  dev.adc_bits = 0;
-  dev.dac_bits = 4;
+  dev.readout.adc_bits = 0;
+  dev.readout.dac_bits = 4;
   report("4-bit DAC inputs", dev);
 
   // Relate crossbar programming variation to the weight-level factors the

@@ -1,0 +1,65 @@
+// Fig. 9-style layer-sensitivity sweep under stuck-at device faults.
+//
+// The paper sweeps *variation* injection from layer i to the last layer to
+// find the layers too sensitive for suppression alone. This example runs the
+// same sweep with a device-fault campaign instead: chips are programmed onto
+// the crossbar substrate and stuck-at cell defects are injected only into
+// analog sites >= i (runtime::ChipFarm first_site + faultsim fault list),
+// reusing McEngine::sensitivity_sweep unchanged.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "faultsim/fault_models.h"
+#include "models/lenet.h"
+#include "runtime/chip_farm.h"
+#include "runtime/mc_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  double rate = 0.05;
+  int chips = 6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc)
+      rate = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc)
+      chips = std::atoi(argv[++i]);
+  }
+
+  data::DigitsSpec spec;
+  spec.train_count = 800;
+  spec.test_count = 200;
+  data::SplitDataset ds = data::make_digits(spec);
+  Rng rng(2023);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  std::printf("[train] LeNet5-Digits (%d epochs)...\n", cfg.epochs);
+  core::train(model, ds.train, ds.test, cfg);
+  const float clean = core::evaluate(model, ds.test);
+
+  const faultsim::FaultSpec fault = faultsim::stuck_at(rate);
+  const int64_t sites = static_cast<int64_t>(model.analog_sites().size());
+  runtime::ChipFarmOptions fo;
+  fo.instances = chips;
+  fo.seed = 42;
+  runtime::ChipFarm farm(model, analog::RramDeviceParams{}, fo, fault.list());
+  runtime::McEngine engine(farm);
+  const auto sweep = engine.sensitivity_sweep(ds.test, sites, /*base_seed=*/42);
+
+  std::printf("\nstuck-at layer sensitivity (rate %.3f, %d chips, clean %.2f%%):\n",
+              rate, chips, 100.0f * clean);
+  std::printf("  %-28s %-10s %s\n", "faults injected from site", "mean", "stddev");
+  for (const auto& p : sweep) {
+    std::printf("  site %2lld .. last               %6.2f%%   %5.2f%%\n",
+                static_cast<long long>(p.first_site), 100.0 * p.mean,
+                100.0 * p.stddev);
+  }
+  std::printf("\nreading: the earlier the first faulty layer, the larger the "
+              "drop — early\nlayers amplify device faults exactly like they "
+              "amplify programming variation\n(paper Fig. 9), which is what "
+              "makes them compensation candidates.\n");
+  return 0;
+}

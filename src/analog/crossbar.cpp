@@ -10,7 +10,7 @@
 namespace cn::analog {
 
 CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev,
-                           Rng& rng)
+                           Rng& rng, bool defer_double_sync)
     : rows_(w.dim(0)), cols_(w.dim(1)), dev_(dev) {
   if (w.rank() != 2) throw std::invalid_argument("CrossbarTile: weight must be rank-2");
   if (dev.g_max <= dev.g_min)
@@ -40,12 +40,24 @@ CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDevicePara
     g_pos_[static_cast<size_t>(i)] = gp;
     g_neg_[static_cast<size_t>(i)] = gn;
   }
+  if (!defer_double_sync) sync_double_copies();
+}
+
+void CrossbarTile::sync_double_copies() {
+  const int64_t n = rows_ * cols_;
   gd_pos_.assign(static_cast<size_t>(n) + 8, 0.0);
   gd_neg_.assign(static_cast<size_t>(n) + 8, 0.0);
   for (int64_t i = 0; i < n; ++i) {
     gd_pos_[static_cast<size_t>(i)] = static_cast<double>(g_pos_[static_cast<size_t>(i)]);
     gd_neg_[static_cast<size_t>(i)] = static_cast<double>(g_neg_[static_cast<size_t>(i)]);
   }
+}
+
+void CrossbarTile::apply_faults(const FaultList& faults,
+                                const FaultModel::TileCtx& ctx, Rng& rng) {
+  for (const FaultModel* f : faults)
+    f->apply(g_pos_.data(), g_neg_.data(), ctx, dev_, rng);
+  sync_double_copies();
 }
 
 void CrossbarTile::accumulate_matvec(const float* x, float* y, Rng* read_rng) const {
@@ -76,15 +88,15 @@ void CrossbarTile::accumulate_row(const float* x, float* y, Rng* read_rng,
 }
 
 void CrossbarTile::finish_row(float* currents, float* y, Rng* read_rng) const {
-  if (read_rng && dev_.read_sigma > 0.0f) {
+  if (read_rng && dev_.readout.read_sigma > 0.0f) {
     for (int64_t c = 0; c < cols_; ++c)
-      currents[c] *= 1.0f + static_cast<float>(read_rng->normal(0.0, dev_.read_sigma));
+      currents[c] *= 1.0f + static_cast<float>(read_rng->normal(0.0, dev_.readout.read_sigma));
   }
-  if (dev_.adc_bits > 0) {
+  if (dev_.readout.adc_bits > 0) {
     // Full scale: every row driving g_max differentially.
     const float fs = static_cast<float>(rows_) * (dev_.g_max - dev_.g_min);
     for (int64_t c = 0; c < cols_; ++c)
-      currents[c] = quantize_uniform(currents[c], -fs, fs, 1 << dev_.adc_bits);
+      currents[c] = quantize_uniform(currents[c], -fs, fs, 1 << dev_.readout.adc_bits);
   }
   for (int64_t c = 0; c < cols_; ++c) y[c] += scale_ * currents[c];
 }
@@ -219,11 +231,15 @@ Tensor CrossbarTile::effective_weights() const {
 }
 
 CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev,
-                             Rng& rng, int64_t tile) {
+                             Rng& rng, int64_t tile, const FaultList* faults) {
   if (w_out_in.rank() != 2)
     throw std::invalid_argument("CrossbarArray: weight must be rank-2");
   if (tile < 1) throw std::invalid_argument("CrossbarArray: tile must be positive");
   dev_ = dev;
+  // Nonideality models may rescale device parameters (e.g. temperature-
+  // dependent sigmas) before anything is programmed.
+  if (faults)
+    for (const FaultModel* f : *faults) f->prepare_device(dev_);
   out_ = w_out_in.dim(0);
   in_ = w_out_in.dim(1);
   const float absmax = max_abs(w_out_in);
@@ -237,8 +253,20 @@ CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev
       for (int64_t r = 0; r < rr; ++r)
         for (int64_t c = 0; c < cc; ++c)
           sub[r * cc + c] = w_in_out[(r0 + r) * out_ + (c0 + c)];
-      tiles_.push_back(Placed{r0, c0, CrossbarTile(sub, absmax, dev, rng)});
+      const bool have_faults = faults && !faults->empty();
+      tiles_.push_back(Placed{r0, c0, CrossbarTile(sub, absmax, dev_, rng,
+                                                   /*defer_double_sync=*/have_faults)});
       max_tile_cols_ = std::max(max_tile_cols_, cc);
+      if (have_faults) {
+        FaultModel::TileCtx ctx;
+        ctx.rows = rr;
+        ctx.cols = cc;
+        ctx.row0 = r0;
+        ctx.col0 = c0;
+        ctx.array_rows = in_;
+        ctx.array_cols = out_;
+        tiles_.back().tile.apply_faults(*faults, ctx, rng);
+      }
     }
   }
   // Group tiles by output column block; construction order (ascending row0)
@@ -254,7 +282,7 @@ Tensor CrossbarArray::matvec(const Tensor& x, Rng* read_rng) const {
   Tensor y({out_});
   // DAC quantization applies once to the shared input voltages.
   Tensor x_q = x;
-  dac_quantize(x_q, dev_.dac_bits);
+  dac_quantize(x_q, dev_.readout.dac_bits);
   for (const Placed& p : tiles_) {
     p.tile.accumulate_matvec(x_q.data() + p.row0, y.data() + p.col0,
                              read_rng);
@@ -270,10 +298,10 @@ Tensor CrossbarArray::matmul(const Tensor& x, Rng* read_rng) const {
   // exactly as matvec applies it.
   Tensor x_q;
   const float* xd = x.data();
-  if (dev_.dac_bits > 0 && n > 0) {
+  if (dev_.readout.dac_bits > 0 && n > 0) {
     x_q = x;
     for (int64_t i = 0; i < n; ++i)
-      dac_quantize_span(x_q.data() + i * in_, in_, dev_.dac_bits);
+      dac_quantize_span(x_q.data() + i * in_, in_, dev_.readout.dac_bits);
     xd = x_q.data();
   }
   return matmul_impl(xd, n, /*colmajor=*/false, read_rng);
@@ -284,7 +312,7 @@ Tensor CrossbarArray::matmul_cols(const Tensor& x_cm, Rng* read_rng) const {
     throw std::invalid_argument(
         "CrossbarArray::matmul_cols: input must be (in, batch)");
   const int64_t n = x_cm.dim(1);
-  if (dev_.dac_bits > 0 && n > 0) {
+  if (dev_.readout.dac_bits > 0 && n > 0) {
     // DAC ranges are per input vector, i.e. per *column* here; materialize
     // the row-major batch and take the matmul path (quantization already
     // dominates this configuration).
@@ -300,7 +328,7 @@ Tensor CrossbarArray::matmul_impl(const float* xd, int64_t n, bool colmajor,
                                   Rng* read_rng) const {
   Tensor y({n, out_});
   if (n == 0) return y;
-  const bool noisy = read_rng && dev_.read_sigma > 0.0f;
+  const bool noisy = read_rng && dev_.readout.read_sigma > 0.0f;
   const uint64_t noise_base = noisy ? read_rng->next_u64() : 0ull;
 
   const int64_t row_block = 64;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analog/quant.h"
@@ -22,16 +23,64 @@
 
 namespace cn::analog {
 
+/// Readout-periphery knobs of a crossbar tile: everything that perturbs or
+/// quantizes the signal path at read time rather than at programming time.
+/// Nested so device specs (and faultsim scenario overrides) can set or copy
+/// the whole periphery in one assignment.
+struct RramReadout {
+  float read_sigma = 0.0f;  // per-read multiplicative Gaussian noise on currents
+  int adc_bits = 0;         // >0: quantize accumulated currents
+  int dac_bits = 0;         // >0: quantize input voltages
+};
+
 /// Physical device / periphery parameters of one crossbar tile.
 struct RramDeviceParams {
   float g_min = 1e-6f;        // Siemens; off conductance
   float g_max = 1e-4f;        // Siemens; on conductance
   int conductance_levels = 0; // >0: multi-level cell quantization before variation
   float program_sigma = 0.0f; // lognormal σ applied to programmed conductance
-  float read_sigma = 0.0f;    // per-read multiplicative Gaussian noise on currents
-  int adc_bits = 0;           // >0: quantize accumulated currents
-  int dac_bits = 0;           // >0: quantize input voltages
+  RramReadout readout;        // read noise / ADC / DAC periphery
 };
+
+/// Injection hook for device-fault and nonideality models (src/faultsim).
+/// After a tile is programmed (level quantization + programming variation),
+/// every model of a fault list transforms the conductance pair arrays in
+/// place, in list order. Implementations must derive all randomness from the
+/// passed Rng so chips stay seed-deterministic (runtime::ChipFarm
+/// re-materializes chips from chip_seed alone, and bit-identical results
+/// across thread/slot counts depend on it). Models with zero severity must
+/// be true no-ops: no rng draws, no writes. Conductances are not re-clamped
+/// by the caller (matching programming variation, which may also exceed
+/// g_max); models are responsible for staying physical.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Placement of one tile inside its CrossbarArray, in the (in, out)
+  /// orientation: tile wordline r is array wordline row0 + r, tile bitline c
+  /// is array bitline col0 + c.
+  struct TileCtx {
+    int64_t rows = 0, cols = 0;              // tile extent
+    int64_t row0 = 0, col0 = 0;              // offset within the array
+    int64_t array_rows = 0, array_cols = 0;  // full array extent
+  };
+
+  /// Adjusts device parameters before programming (e.g. temperature-scaled
+  /// sigmas). Called once per CrossbarArray on its private copy.
+  virtual void prepare_device(RramDeviceParams&) const {}
+
+  /// Transforms the programmed conductances of one tile in place. g_pos and
+  /// g_neg are row-major (rows x cols).
+  virtual void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+                     const RramDeviceParams& dev, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Non-owning fault list, applied in order. Ownership stays with the caller
+/// (faultsim::FaultSpec holds shared_ptrs); the pointed-to models must
+/// outlive every chip programmed with them.
+using FaultList = std::vector<const FaultModel*>;
 
 /// One crossbar tile holding a weight matrix W (rows, cols): rows are inputs
 /// (wordlines), cols are outputs (bitlines), i.e. y = W^T x is computed as
@@ -41,11 +90,22 @@ class CrossbarTile {
  public:
   /// Programs the tile from `w` (rows=in, cols=out), scaling by max |w| of
   /// the whole array (`w_absmax`). Applies level quantization then
-  /// programming variation via `rng`.
-  CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev, Rng& rng);
+  /// programming variation via `rng`. `defer_double_sync` skips building the
+  /// batched kernel's double-precision copies when an apply_faults call is
+  /// known to follow immediately (it rebuilds them) — callers who defer and
+  /// then never apply faults would leave the batched path reading zeros.
+  CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev, Rng& rng,
+               bool defer_double_sync = false);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
+
+  /// Applies a fault list to the programmed conductances (construction-time
+  /// transform; see FaultModel). Both execution paths read the transformed
+  /// arrays, so batched matmul stays bit-identical to matvec under every
+  /// model. CrossbarArray calls this right after placing each tile.
+  void apply_faults(const FaultList& faults, const FaultModel::TileCtx& ctx,
+                    Rng& rng);
 
   /// y_j += Σ_i x_i · w_eff(i,j); applies read noise/ADC if configured.
   void accumulate_matvec(const float* x, float* y, Rng* read_rng) const;
@@ -78,6 +138,10 @@ class CrossbarTile {
   /// shared tail of the scalar and batched kernels (exact parity).
   void finish_row(float* currents, float* y, Rng* read_rng) const;
 
+  /// Rebuilds the padded double-precision copies from g_pos_/g_neg_ (after
+  /// programming or fault injection).
+  void sync_double_copies();
+
   int64_t rows_, cols_;
   float scale_;                 // weight per Siemens
   RramDeviceParams dev_;
@@ -92,8 +156,13 @@ class CrossbarTile {
 /// as a real accelerator would. matvec(x) returns W_eff · x.
 class CrossbarArray {
  public:
+  /// Programs the array; if `faults` is given, each model first adjusts the
+  /// array's private device-parameter copy (prepare_device) and then
+  /// transforms every tile's conductances in place right after that tile is
+  /// programmed, drawing from the same `rng` stream — so a chip remains a
+  /// pure function of its seed.
   CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev, Rng& rng,
-                int64_t tile = 128);
+                int64_t tile = 128, const FaultList* faults = nullptr);
 
   int64_t in_dim() const { return in_; }
   int64_t out_dim() const { return out_; }

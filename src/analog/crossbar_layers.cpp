@@ -5,9 +5,9 @@
 namespace cn::analog {
 
 CrossbarDense::CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev,
-                             Rng& prog_rng, int64_t tile)
+                             Rng& prog_rng, int64_t tile, const FaultList* faults)
     : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
-                                            tile)),
+                                            tile, faults)),
       bias_(const_cast<nn::Dense&>(src).bias().value) {
   label_ = src.label() + "@xbar";
 }
@@ -43,9 +43,9 @@ std::unique_ptr<nn::Layer> CrossbarDense::clone() const {
 }
 
 CrossbarConv2D::CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev,
-                               Rng& prog_rng, int64_t tile)
+                               Rng& prog_rng, int64_t tile, const FaultList* faults)
     : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
-                                            tile)),
+                                            tile, faults)),
       geom_(src.geom()),
       out_c_(src.out_channels()),
       bias_(const_cast<nn::Conv2D&>(src).bias().value) {
@@ -105,33 +105,63 @@ std::unique_ptr<nn::Layer> CrossbarConv2D::clone() const {
 
 nn::Sequential program_to_crossbars(const nn::Sequential& model,
                                     const RramDeviceParams& dev, Rng& prog_rng,
-                                    int64_t tile) {
+                                    int64_t tile, const FaultList* faults,
+                                    int64_t first_fault_site) {
   nn::Sequential out(model.label() + "@xbar");
+  int64_t site = 0;  // analog sites in execution order, matching perturb_from
+  auto to_crossbar = [&](const nn::Layer& src) -> std::unique_ptr<nn::Layer> {
+    const FaultList* site_faults =
+        (faults && site >= first_fault_site) ? faults : nullptr;
+    if (const auto* d = dynamic_cast<const nn::Dense*>(&src)) {
+      ++site;
+      return std::make_unique<CrossbarDense>(*d, dev, prog_rng, tile, site_faults);
+    }
+    if (const auto* c = dynamic_cast<const nn::Conv2D*>(&src)) {
+      ++site;
+      return std::make_unique<CrossbarConv2D>(*c, dev, prog_rng, tile, site_faults);
+    }
+    return nullptr;
+  };
   for (int64_t i = 0; i < model.num_layers(); ++i) {
     const nn::Layer& l = model.layer(i);
-    if (const auto* d = dynamic_cast<const nn::Dense*>(&l)) {
-      out.add(std::make_unique<CrossbarDense>(*d, dev, prog_rng, tile));
-    } else if (const auto* c = dynamic_cast<const nn::Conv2D*>(&l)) {
-      out.add(std::make_unique<CrossbarConv2D>(*c, dev, prog_rng, tile));
-    } else {
-      out.add(l.clone());
+    if (auto direct = to_crossbar(l)) {
+      out.add(std::move(direct));
+      continue;
     }
+    // Composite analog layers (e.g. the compensated conv) carry their base
+    // conv to the substrate through the override slot; digital parts are
+    // cloned unchanged.
+    auto cloned = l.clone();
+    cloned->visit_analog_bases(
+        [&](const nn::Layer& base, std::unique_ptr<nn::Layer>& slot) {
+          if (auto converted = to_crossbar(base)) slot = std::move(converted);
+        });
+    out.add(std::move(cloned));
   }
   return out;
 }
 
 namespace {
 template <typename Fn>
+void dispatch_crossbar(nn::Layer* l, const Fn& fn) {
+  if (auto* d = dynamic_cast<CrossbarDense*>(l)) fn(*d);
+  else if (auto* c = dynamic_cast<CrossbarConv2D*>(l)) fn(*c);
+}
+
+template <typename Fn>
 void for_each_crossbar_layer(nn::Sequential& model, const Fn& fn) {
   for (int64_t i = 0; i < model.num_layers(); ++i) {
     nn::Layer& l = model.layer(i);
-    if (auto* d = dynamic_cast<CrossbarDense*>(&l)) {
-      fn(*d);
-    } else if (auto* c = dynamic_cast<CrossbarConv2D*>(&l)) {
-      fn(*c);
-    } else if (auto* s = dynamic_cast<nn::Sequential*>(&l)) {
+    if (auto* s = dynamic_cast<nn::Sequential*>(&l)) {
       for_each_crossbar_layer(*s, fn);
+      continue;
     }
+    dispatch_crossbar(&l, fn);
+    // Crossbar layers installed in composite override slots
+    // (program_to_crossbars on compensated models).
+    l.visit_analog_bases([&](const nn::Layer&, std::unique_ptr<nn::Layer>& slot) {
+      dispatch_crossbar(slot.get(), fn);
+    });
   }
 }
 }  // namespace

@@ -29,9 +29,11 @@ namespace cn::analog {
 /// Inference-only Dense executed on a programmed crossbar array.
 class CrossbarDense final : public nn::Layer {
  public:
-  /// Programs the crossbar from the trained layer's nominal weights.
+  /// Programs the crossbar from the trained layer's nominal weights;
+  /// `faults` (optional, non-owning) injects device faults at programming
+  /// time (see analog::FaultModel).
   CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev, Rng& prog_rng,
-                int64_t tile = 128);
+                int64_t tile = 128, const FaultList* faults = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
@@ -69,7 +71,7 @@ class CrossbarDense final : public nn::Layer {
 class CrossbarConv2D final : public nn::Layer {
  public:
   CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev, Rng& prog_rng,
-                 int64_t tile = 128);
+                 int64_t tile = 128, const FaultList* faults = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
@@ -100,10 +102,16 @@ class CrossbarConv2D final : public nn::Layer {
 
 /// Deep-copies `model`, replacing every Dense/Conv2D with its crossbar-backed
 /// equivalent programmed with `dev` (one chip instance). Compensation blocks
-/// and other layers are cloned unchanged (they are digital).
+/// and other layers are cloned unchanged (they are digital). `faults`
+/// (optional, non-owning, must outlive the chip) injects device faults into
+/// the analog sites with execution-order index >= first_fault_site — the
+/// fault-campaign analogue of the paper's Fig. 9 "inject from the i-th layer
+/// to the last layer" sweep; 0 faults every site.
 nn::Sequential program_to_crossbars(const nn::Sequential& model,
                                     const RramDeviceParams& dev, Rng& prog_rng,
-                                    int64_t tile = 128);
+                                    int64_t tile = 128,
+                                    const FaultList* faults = nullptr,
+                                    int64_t first_fault_site = 0);
 
 /// Gives every crossbar layer in `model` (recursing into nested Sequentials)
 /// its own read-noise stream, seeded deterministically from `seed`. Replaces

@@ -118,7 +118,10 @@ CompensatedConv2D::CompensatedConv2D(std::unique_ptr<nn::Conv2D> base,
 Tensor CompensatedConv2D::forward(const Tensor& x, bool train) {
   in_h_ = x.dim(2);
   in_w_ = x.dim(3);
-  Tensor y = base_->forward(x, train);
+  // Substrate-backed chips execute the override (geometry mirrors base_).
+  nn::Layer& analog_base =
+      base_override_ ? *base_override_ : static_cast<nn::Layer&>(*base_);
+  Tensor y = analog_base.forward(x, train);
   Tensor xp = adaptive_avgpool(x, base_->out_h(), base_->out_w());
   Tensor gin = concat_channels(xp, y);
   Tensor g = gen_->forward(gin, train);
@@ -140,6 +143,8 @@ Tensor CompensatedConv2D::forward(const Tensor& x, bool train) {
 }
 
 Tensor CompensatedConv2D::backward(const Tensor& grad_out) {
+  if (base_override_)
+    throw std::logic_error(label_ + ": substrate-backed base is inference-only");
   const int64_t l = base_->in_channels();
   const int64_t n = base_->out_channels();
   Tensor dcin = comp_->backward(grad_out);
@@ -165,8 +170,20 @@ std::vector<nn::Param*> CompensatedConv2D::params() {
 
 void CompensatedConv2D::collect_analog(std::vector<nn::PerturbableWeight*>& out) {
   // Only the base conv sits on the analog crossbar; generator/compensator
-  // execute digitally (paper §III-B) and are immune to variations.
+  // execute digitally (paper §III-B) and are immune to variations. With a
+  // substrate override installed the dormant base_ exposes no sites (factor
+  // perturbation would not affect execution); the override contributes any
+  // sites of its own (none for crossbar layers — variation is programmed in).
+  if (base_override_) {
+    base_override_->collect_analog(out);
+    return;
+  }
   base_->collect_analog(out);
+}
+
+void CompensatedConv2D::visit_analog_bases(
+    const std::function<void(const nn::Layer&, std::unique_ptr<nn::Layer>&)>& fn) {
+  fn(*base_, base_override_);
 }
 
 std::unique_ptr<nn::Layer> CompensatedConv2D::clone() const {
@@ -178,6 +195,7 @@ std::unique_ptr<nn::Layer> CompensatedConv2D::clone() const {
   c->gen_ = std::unique_ptr<nn::Conv2D>(static_cast<nn::Conv2D*>(gen_->clone().release()));
   c->comp_ =
       std::unique_ptr<nn::Conv2D>(static_cast<nn::Conv2D*>(comp_->clone().release()));
+  if (base_override_) c->base_override_ = base_override_->clone();
   c->label_ = label_;
   return c;
 }

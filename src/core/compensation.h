@@ -47,6 +47,9 @@ class CompensatedConv2D final : public nn::Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Param*> params() override;
   void collect_analog(std::vector<nn::PerturbableWeight*>& out) override;
+  void visit_analog_bases(
+      const std::function<void(const nn::Layer&, std::unique_ptr<nn::Layer>&)>& fn)
+      override;
   std::unique_ptr<nn::Layer> clone() const override;
   std::string kind() const override { return "compensated_conv2d"; }
   bool is_analog() const override { return true; }
@@ -61,6 +64,11 @@ class CompensatedConv2D final : public nn::Layer {
   CompensatedConv2D(const CompensatedConv2D&) = default;
 
   std::unique_ptr<nn::Conv2D> base_;
+  // Substrate override (visit_analog_bases): when set, executes instead of
+  // base_ at inference — how program_to_crossbars puts the compensated
+  // conv's analog half on the crossbar while gen_/comp_ stay digital.
+  // Training through an overridden base is rejected (backward throws).
+  std::unique_ptr<nn::Layer> base_override_;
   std::unique_ptr<nn::Conv2D> gen_;   // digital: not collected as analog
   std::unique_ptr<nn::Conv2D> comp_;  // digital
   int64_t m_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace cn::core {
@@ -32,6 +35,111 @@ const RuntimeConfig& RuntimeConfig::get() {
     return c;
   }();
   return cfg;
+}
+
+namespace {
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+KeyValueConfig KeyValueConfig::from_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("KeyValueConfig: cannot open " + path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return from_string(ss.str());
+}
+
+KeyValueConfig KeyValueConfig::from_string(const std::string& text) {
+  KeyValueConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = trimmed(line.substr(0, eq));
+    if (key.empty()) continue;
+    cfg.kv_.emplace_back(key, trimmed(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+const std::string* KeyValueConfig::find(const std::string& key) const {
+  // Last occurrence wins.
+  for (auto it = kv_.rbegin(); it != kv_.rend(); ++it)
+    if (it->first == key) return &it->second;
+  return nullptr;
+}
+
+std::string KeyValueConfig::str(const std::string& key, const std::string& def) const {
+  const std::string* v = find(key);
+  return v ? *v : def;
+}
+
+int64_t KeyValueConfig::integer(const std::string& key, int64_t def) const {
+  const std::string* v = find(key);
+  if (!v || v->empty()) return def;
+  size_t pos = 0;
+  int64_t parsed = 0;
+  try {
+    parsed = std::stoll(*v, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  // Partial parses fail loudly: '1O' silently meaning 1 would mis-size runs.
+  if (pos != v->size())
+    throw std::runtime_error("KeyValueConfig: unparsable integer '" + *v +
+                             "' in key '" + key + "'");
+  return parsed;
+}
+
+double KeyValueConfig::number(const std::string& key, double def) const {
+  const std::string* v = find(key);
+  if (!v || v->empty()) return def;
+  size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(*v, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  if (pos != v->size())
+    throw std::runtime_error("KeyValueConfig: unparsable number '" + *v +
+                             "' in key '" + key + "'");
+  return parsed;
+}
+
+std::vector<double> KeyValueConfig::numbers(const std::string& key,
+                                            std::vector<double> def) const {
+  const std::string* v = find(key);
+  if (!v) return def;
+  std::vector<double> out;
+  std::istringstream is(*v);
+  std::string cell;
+  while (std::getline(is, cell, ',')) {
+    cell = trimmed(cell);
+    if (cell.empty()) continue;
+    // A typo'd cell must fail loudly: silently dropping it would shrink a
+    // campaign grid with no trace in the report.
+    size_t pos = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(cell, &pos);
+    } catch (...) {
+      pos = 0;
+    }
+    if (pos != cell.size())
+      throw std::runtime_error("KeyValueConfig: unparsable number '" + cell +
+                               "' in key '" + key + "'");
+    out.push_back(parsed);
+  }
+  return out;
 }
 
 }  // namespace cn::core

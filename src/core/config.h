@@ -11,6 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace cn::core {
 
@@ -25,6 +28,35 @@ struct RuntimeConfig {
 
   /// Singleton, parsed from the environment on first use.
   static const RuntimeConfig& get();
+};
+
+/// Minimal `key = value` config-file reader: one pair per line, '#' starts a
+/// comment, whitespace around keys and values is trimmed, later keys
+/// override earlier ones. Values parse on access: the caller default covers
+/// absent or empty keys, while a present value that does not fully parse
+/// throws (a typo must not silently reshape an experiment). Drives the
+/// fault-campaign CLI (faultsim keys like `stuck.rates`, `drift.times`,
+/// `thermal.temps`; see faultsim::campaign_from_config).
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+  /// Throws std::runtime_error when the file cannot be opened.
+  static KeyValueConfig from_file(const std::string& path);
+  static KeyValueConfig from_string(const std::string& text);
+
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  std::string str(const std::string& key, const std::string& def = "") const;
+  int64_t integer(const std::string& key, int64_t def) const;
+  double number(const std::string& key, double def) const;
+  /// Comma-separated numeric list; `def` when the key is absent. Unlike the
+  /// scalar getters, an unparsable cell throws (a dropped severity value
+  /// would silently shrink a campaign grid).
+  std::vector<double> numbers(const std::string& key,
+                              std::vector<double> def = {}) const;
+
+ private:
+  const std::string* find(const std::string& key) const;
+  std::vector<std::pair<std::string, std::string>> kv_;
 };
 
 }  // namespace cn::core

@@ -1,0 +1,204 @@
+#include "faultsim/campaign.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/chip_farm.h"
+#include "runtime/mc_engine.h"
+
+namespace cn::faultsim {
+
+namespace {
+
+// Number formatting matching bench::BenchJson (%.6g, ordered keys).
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t CampaignReport::total_catastrophic() const {
+  int64_t n = 0;
+  for (const ScenarioResult& s : scenarios) n += s.catastrophic;
+  return n;
+}
+
+std::vector<const ScenarioResult*> CampaignReport::for_model(
+    const std::string& name) const {
+  std::vector<const ScenarioResult*> out;
+  for (const ScenarioResult& s : scenarios)
+    if (s.model_name == name) out.push_back(&s);
+  return out;
+}
+
+double CampaignReport::mean_accuracy(const std::string& model_name) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const ScenarioResult& s : scenarios) {
+    if (s.model_name != model_name) continue;
+    sum += s.acc.mean;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string CampaignReport::to_json() const {
+  std::string j = "{\n";
+  j += "  \"name\": \"faultsim_campaign\",\n";
+  j += "  \"chips\": " + std::to_string(chips) + ",\n";
+  j += "  \"seed\": " + std::to_string(seed) + ",\n";
+  j += "  \"catastrophic_below\": " + json_num(catastrophic_below) + ",\n";
+  j += "  \"total_catastrophic\": " + std::to_string(total_catastrophic()) + ",\n";
+  j += "  \"wall_s\": " + json_num(wall_s) + ",\n";
+  j += "  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    j += "    {\"fault\": \"" + json_escaped(s.fault_kind) + "\"";
+    j += ", \"severity\": " + json_num(s.severity);
+    j += ", \"model\": \"" + json_escaped(s.model_name) + "\"";
+    j += std::string(", \"compensation\": ") + (s.compensation ? "true" : "false");
+    j += ", \"mean\": " + json_num(s.acc.mean);
+    j += ", \"stddev\": " + json_num(s.acc.stddev);
+    j += ", \"min\": " + json_num(s.acc.min);
+    j += ", \"max\": " + json_num(s.acc.max);
+    j += ", \"catastrophic\": " + std::to_string(s.catastrophic);
+    j += ", \"samples\": [";
+    for (size_t k = 0; k < s.acc.samples.size(); ++k) {
+      if (k) j += ", ";
+      j += json_num(s.acc.samples[k]);
+    }
+    j += "]}";
+    if (i + 1 < scenarios.size()) j += ",";
+    j += "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+void CampaignReport::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("CampaignReport: cannot write " + path);
+  os << to_json();
+}
+
+Campaign::Campaign(CampaignOptions opts) : opts_(opts) {
+  if (opts_.chips < 1)
+    throw std::invalid_argument("Campaign: need at least one chip per scenario");
+}
+
+void Campaign::add_model(const std::string& name, const nn::Sequential& model,
+                         bool compensation) {
+  models_.push_back(ModelEntry{
+      name, std::make_unique<nn::Sequential>(model.clone_model()), compensation});
+}
+
+void Campaign::add_fault(FaultSpec spec) { faults_.push_back(std::move(spec)); }
+
+void Campaign::add_stuck_at_grid(const std::vector<double>& rates) {
+  for (double r : rates) add_fault(stuck_at(r));
+}
+
+void Campaign::add_drift_grid(const std::vector<double>& t_ratios) {
+  for (double t : t_ratios) add_fault(drift(t));
+}
+
+void Campaign::add_ir_drop_grid(const std::vector<double>& alphas) {
+  for (double a : alphas) add_fault(ir_drop(a));
+}
+
+void Campaign::add_thermal_grid(const std::vector<double>& temperatures) {
+  for (double t : temperatures) add_fault(thermal(t));
+}
+
+CampaignReport Campaign::run(const data::Dataset& test) {
+  if (models_.empty()) throw std::logic_error("Campaign: no models registered");
+  if (faults_.empty()) throw std::logic_error("Campaign: no fault specs added");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  CampaignReport report;
+  report.chips = opts_.chips;
+  report.seed = opts_.seed;
+  report.catastrophic_below = opts_.catastrophic_below;
+  report.scenarios.reserve(static_cast<size_t>(num_scenarios()));
+
+  for (size_t fi = 0; fi < faults_.size(); ++fi) {
+    const FaultSpec& spec = faults_[fi];
+    // Per-scenario seed depends on the fault index only: every protection
+    // variant sees the same chips and the same fault realizations.
+    const uint64_t scenario_seed =
+        mix64(opts_.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(fi) + 1)));
+    const analog::FaultList list = spec.list();
+    for (const ModelEntry& me : models_) {
+      if (log)
+        log("scenario " + spec.kind + "@" + json_num(spec.severity) + " x " +
+            me.name);
+      runtime::ChipFarmOptions fo;
+      fo.instances = opts_.chips;
+      fo.seed = scenario_seed;
+      fo.max_live = opts_.max_live;
+      fo.tile = opts_.tile;
+      runtime::ChipFarm farm(*me.model, opts_.dev, fo, list);
+      runtime::McEngineOptions eo;
+      eo.batch_size = opts_.batch_size;
+      eo.threads = opts_.threads;
+      ScenarioResult res;
+      res.fault_kind = spec.kind;
+      res.severity = spec.severity;
+      res.model_name = me.name;
+      res.compensation = me.compensation;
+      res.acc = runtime::McEngine(farm, eo).accuracy(test);
+      for (double a : res.acc.samples)
+        if (a < opts_.catastrophic_below) ++res.catastrophic;
+      report.scenarios.push_back(std::move(res));
+    }
+  }
+  report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
+  CampaignOptions opts;
+  opts.chips = cfg.integer("chips", opts.chips);
+  opts.seed = static_cast<uint64_t>(cfg.integer("seed", static_cast<int64_t>(opts.seed)));
+  opts.batch_size = cfg.integer("batch", opts.batch_size);
+  opts.tile = cfg.integer("tile", opts.tile);
+  opts.catastrophic_below = cfg.number("catastrophic", opts.catastrophic_below);
+  opts.dev.program_sigma = static_cast<float>(cfg.number("program_sigma", 0.0));
+  opts.dev.readout.read_sigma = static_cast<float>(cfg.number("read_sigma", 0.0));
+  opts.dev.readout.adc_bits = static_cast<int>(cfg.integer("adc_bits", 0));
+  opts.dev.readout.dac_bits = static_cast<int>(cfg.integer("dac_bits", 0));
+  opts.dev.conductance_levels = static_cast<int>(cfg.integer("levels", 0));
+
+  Campaign c(opts);
+  if (cfg.integer("control", 1) != 0) c.add_fault(fault_free());
+  const double high_frac = cfg.number("stuck.high_fraction", 0.5);
+  for (double r : cfg.numbers("stuck.rates")) c.add_fault(stuck_at(r, high_frac));
+  const double nu = cfg.number("drift.nu", 0.05);
+  const double nu_sigma = cfg.number("drift.nu_sigma", 0.02);
+  for (double t : cfg.numbers("drift.times")) c.add_fault(drift(t, nu, nu_sigma));
+  for (double a : cfg.numbers("ir.alphas")) c.add_fault(ir_drop(a));
+  const double t0 = cfg.number("thermal.t0", 300.0);
+  for (double t : cfg.numbers("thermal.temps")) c.add_fault(thermal(t, t0));
+  return c;
+}
+
+}  // namespace cn::faultsim

@@ -1,0 +1,123 @@
+// Campaign: robustness-evaluation engine over the inference runtime.
+//
+// A campaign is a scenario grid — fault kind x severity x protection variant
+// (compensation on/off, baseline protections) — executed sample-parallel:
+// every scenario builds a crossbar-mode runtime::ChipFarm carrying the
+// scenario's fault list and evaluates it with runtime::McEngine, so results
+// are bit-identical for any thread count and any number of live chip slots.
+// Scenario fault realizations are paired across protection variants (same
+// per-scenario chip seeds), making the compensation-on/off comparison a
+// matched-pairs experiment.
+//
+// The *description* of a campaign (FaultSpecs + model variants + options) is
+// plain data, separate from *execution* (run) and *reporting*
+// (CampaignReport with a JSON emitter in the BENCH_*.json key/value shape).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/montecarlo.h"
+#include "data/dataset.h"
+#include "faultsim/fault_models.h"
+#include "nn/sequential.h"
+
+namespace cn::faultsim {
+
+struct CampaignOptions {
+  int64_t chips = 8;          // MC samples (chip instances) per scenario
+  uint64_t seed = 42;         // campaign seed; per-scenario seeds derive from it
+  int64_t batch_size = 128;   // evaluation batch size
+  int64_t max_live = 0;       // ChipFarm physical slots; 0 = auto
+  int64_t tile = 128;         // crossbar tile edge
+  int threads = 0;            // McEngine threads; 1 forces the serial path
+  double catastrophic_below = 0.2;  // accuracy counted as catastrophic failure
+  analog::RramDeviceParams dev;     // baseline device every scenario starts from
+};
+
+/// One grid cell's outcome.
+struct ScenarioResult {
+  std::string fault_kind;
+  double severity = 0.0;
+  std::string model_name;     // protection variant ("baseline", "corrected", ...)
+  bool compensation = false;  // variant has error compensation on
+  core::McResult acc;         // mean/std/min/max + per-chip samples
+  int64_t catastrophic = 0;   // chips with accuracy < catastrophic_below
+};
+
+struct CampaignReport {
+  int64_t chips = 0;
+  uint64_t seed = 0;
+  double catastrophic_below = 0.0;
+  double wall_s = 0.0;
+  std::vector<ScenarioResult> scenarios;
+
+  int64_t total_catastrophic() const;
+  /// Scenarios of one protection variant, grid order preserved.
+  std::vector<const ScenarioResult*> for_model(const std::string& name) const;
+  /// Mean accuracy over every scenario of one variant (the headline
+  /// robustness number the compensation-on/off comparison reads).
+  double mean_accuracy(const std::string& model_name) const;
+
+  /// JSON in the BENCH_*.json shape (ordered keys, %.6g numbers): campaign
+  /// metadata at the top level plus a "scenarios" array.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions opts = {});
+
+  /// Registers a protection variant (evaluated against every fault spec).
+  /// The model is cloned; `compensation` is recorded in the report rows.
+  void add_model(const std::string& name, const nn::Sequential& model,
+                 bool compensation);
+  /// Appends one scenario column to the grid.
+  void add_fault(FaultSpec spec);
+  /// Convenience: severity grids of the four built-in fault kinds.
+  void add_stuck_at_grid(const std::vector<double>& rates);
+  void add_drift_grid(const std::vector<double>& t_ratios);
+  void add_ir_drop_grid(const std::vector<double>& alphas);
+  void add_thermal_grid(const std::vector<double>& temperatures);
+
+  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+  int64_t num_faults() const { return static_cast<int64_t>(faults_.size()); }
+  /// Grid size = fault specs x protection variants.
+  int64_t num_scenarios() const { return num_models() * num_faults(); }
+
+  /// Progress hook (scenario label), printed by the CLI/bench frontends.
+  std::function<void(const std::string&)> log;
+
+  /// Runs the whole grid and aggregates the report. Deterministic: scenario
+  /// (fi, model) uses chip seeds derived from (opts.seed, fi) only, so the
+  /// same chips and fault realizations meet every protection variant.
+  CampaignReport run(const data::Dataset& test);
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    std::unique_ptr<nn::Sequential> model;  // indirection: Sequential is move-hostile
+    bool compensation;
+  };
+  CampaignOptions opts_;
+  std::vector<ModelEntry> models_;
+  std::vector<FaultSpec> faults_;
+};
+
+/// Builds a campaign grid from config-file keys (core::KeyValueConfig):
+///   chips, seed, batch, catastrophic, tile    — CampaignOptions scalars
+///   program_sigma, read_sigma, adc_bits, dac_bits, levels — baseline device
+///   control = 0|1            — include the fault-free control scenario (default 1)
+///   stuck.rates = 0.001,0.01 — stuck-at severity grid (stuck.high_fraction)
+///   drift.times = 10,1000    — drift t/t0 grid (drift.nu, drift.nu_sigma)
+///   ir.alphas = 0.05,0.1     — IR-drop attenuation grid
+///   thermal.temps = 350,400  — temperature grid (thermal.t0)
+/// Models are registered by the caller, not the config.
+Campaign campaign_from_config(const core::KeyValueConfig& cfg);
+
+}  // namespace cn::faultsim

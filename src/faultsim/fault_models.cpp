@@ -1,0 +1,112 @@
+#include "faultsim/fault_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cn::faultsim {
+
+void StuckAtFault::apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+                         const analog::RramDeviceParams& dev, Rng& rng) const {
+  if (rate_low <= 0.0 && rate_high <= 0.0) return;
+  const double p_any = rate_low + rate_high;
+  const int64_t n = ctx.rows * ctx.cols;
+  // One uniform per physical cell; G+ and G- fail independently.
+  for (float* g : {g_pos, g_neg}) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double u = rng.uniform();
+      if (u < rate_low) g[i] = dev.g_min;
+      else if (u < p_any) g[i] = dev.g_max;
+    }
+  }
+}
+
+void DriftFault::apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+                       const analog::RramDeviceParams&, Rng& rng) const {
+  if (t_ratio == 1.0 || (nu_mean == 0.0 && nu_sigma == 0.0)) return;
+  const double log_t = std::log(t_ratio);
+  const int64_t n = ctx.rows * ctx.cols;
+  for (float* g : {g_pos, g_neg}) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double nu = std::max(0.0, rng.normal(nu_mean, nu_sigma));
+      g[i] = static_cast<float>(g[i] * std::exp(-nu * log_t));
+    }
+  }
+}
+
+void IrDropFault::apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+                        const analog::RramDeviceParams&, Rng&) const {
+  if (alpha_wordline == 0.0 && alpha_bitline == 0.0) return;
+  const double row_span = static_cast<double>(std::max<int64_t>(1, ctx.array_rows - 1));
+  const double col_span = static_cast<double>(std::max<int64_t>(1, ctx.array_cols - 1));
+  for (int64_t r = 0; r < ctx.rows; ++r) {
+    const double bl = alpha_bitline * static_cast<double>(ctx.row0 + r) / row_span;
+    for (int64_t c = 0; c < ctx.cols; ++c) {
+      const double wl = alpha_wordline * static_cast<double>(ctx.col0 + c) / col_span;
+      const float att = static_cast<float>(std::max(0.0, 1.0 - wl - bl));
+      const int64_t i = r * ctx.cols + c;
+      g_pos[i] *= att;
+      g_neg[i] *= att;
+    }
+  }
+}
+
+void ThermalFault::prepare_device(analog::RramDeviceParams& dev) const {
+  if (temperature == t_nominal) return;
+  const float scale =
+      static_cast<float>(std::sqrt(std::max(0.0, temperature / t_nominal)));
+  dev.program_sigma *= scale;
+  dev.readout.read_sigma *= scale;
+}
+
+void ThermalFault::apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+                         const analog::RramDeviceParams&, Rng& rng) const {
+  const double over = temperature / t_nominal - 1.0;
+  const double sigma = cell_sigma * over;
+  if (sigma <= 0.0) return;
+  const int64_t n = ctx.rows * ctx.cols;
+  for (float* g : {g_pos, g_neg}) {
+    for (int64_t i = 0; i < n; ++i)
+      g[i] = static_cast<float>(g[i] * rng.lognormal(0.0, sigma));
+  }
+}
+
+FaultSpec fault_free() {
+  FaultSpec s;
+  s.kind = "none";
+  return s;
+}
+
+FaultSpec stuck_at(double rate, double high_fraction) {
+  FaultSpec s;
+  s.kind = "stuck_at";
+  s.severity = rate;
+  s.models.push_back(std::make_shared<StuckAtFault>(
+      rate * (1.0 - high_fraction), rate * high_fraction));
+  return s;
+}
+
+FaultSpec drift(double t_ratio, double nu_mean, double nu_sigma) {
+  FaultSpec s;
+  s.kind = "drift";
+  s.severity = t_ratio;
+  s.models.push_back(std::make_shared<DriftFault>(t_ratio, nu_mean, nu_sigma));
+  return s;
+}
+
+FaultSpec ir_drop(double alpha) {
+  FaultSpec s;
+  s.kind = "ir_drop";
+  s.severity = alpha;
+  s.models.push_back(std::make_shared<IrDropFault>(alpha, alpha));
+  return s;
+}
+
+FaultSpec thermal(double temperature, double t_nominal) {
+  FaultSpec s;
+  s.kind = "thermal";
+  s.severity = temperature;
+  s.models.push_back(std::make_shared<ThermalFault>(temperature, t_nominal));
+  return s;
+}
+
+}  // namespace cn::faultsim

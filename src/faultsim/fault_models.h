@@ -1,0 +1,119 @@
+// Device-fault and nonideality models for analog in-memory computing
+// (paper §II: the failure space CorrectNet's error suppression +
+// compensation must survive goes well beyond programming variation).
+//
+// Every model is a construction-time transform of the programmed
+// conductances behind the analog::FaultModel hook, so the batched matmul and
+// per-column matvec execution paths read identical arrays and stay
+// bit-identical under every fault. All randomness comes from the chip's own
+// programming rng stream, keeping chips pure functions of their seed
+// (runtime::ChipFarm's determinism contract). Models at zero severity are
+// true no-ops: no rng draws, no writes — a zero-rate scenario is
+// bit-identical to a fault-free chip.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analog/crossbar.h"
+
+namespace cn::faultsim {
+
+/// Stuck-at cell defects: each physical conductance (G+ and G- cells are
+/// independent devices) is stuck at G_min with probability rate_low and at
+/// G_max with probability rate_high — the classic SA0/SA1 defect map,
+/// Bernoulli per cell with deterministic per-chip seeds.
+struct StuckAtFault final : public analog::FaultModel {
+  double rate_low = 0.0;   // P(cell stuck at g_min)
+  double rate_high = 0.0;  // P(cell stuck at g_max)
+
+  StuckAtFault() = default;
+  StuckAtFault(double low, double high) : rate_low(low), rate_high(high) {}
+
+  void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+             const analog::RramDeviceParams& dev, Rng& rng) const override;
+  std::string name() const override { return "stuck_at"; }
+};
+
+/// Conductance drift: G(t) = G0 * (t/t0)^(-nu) with a per-cell nu spread
+/// (nu ~ N(nu_mean, nu_sigma), clamped at 0 so cells never gain
+/// conductance). t_ratio = t/t0 >= 1 is the aging knob; 1 is a no-op.
+struct DriftFault final : public analog::FaultModel {
+  double t_ratio = 1.0;    // elapsed time over reference time t0
+  double nu_mean = 0.05;   // mean drift exponent
+  double nu_sigma = 0.02;  // per-cell spread of the exponent
+
+  DriftFault() = default;
+  explicit DriftFault(double t, double nu = 0.05, double spread = 0.02)
+      : t_ratio(t), nu_mean(nu), nu_sigma(spread) {}
+
+  void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+             const analog::RramDeviceParams& dev, Rng& rng) const override;
+  std::string name() const override { return "drift"; }
+};
+
+/// Wordline/bitline IR drop: parasitic wire resistance attenuates the
+/// voltage a cell sees in proportion to its distance from the drivers.
+/// Closed-form linear model (deterministic, no rng): cell (r, c) of the
+/// full array keeps the fraction
+///   1 - alpha_wordline * c/(cols-1) - alpha_bitline * r/(rows-1)
+/// of its current contribution (wordlines run across bitline columns,
+/// bitlines across wordline rows), folded into the conductances so both
+/// execution paths stay cheap and exactly equal. Clamped at 0.
+struct IrDropFault final : public analog::FaultModel {
+  double alpha_wordline = 0.0;  // fractional drop at the far end of a wordline
+  double alpha_bitline = 0.0;   // fractional drop at the far end of a bitline
+
+  IrDropFault() = default;
+  IrDropFault(double wl, double bl) : alpha_wordline(wl), alpha_bitline(bl) {}
+
+  void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+             const analog::RramDeviceParams& dev, Rng& rng) const override;
+  std::string name() const override { return "ir_drop"; }
+};
+
+/// Temperature-scaled sigmas: noise power grows linearly with absolute
+/// temperature, so programming and read sigma scale by sqrt(T/T0)
+/// (prepare_device). Above T0 an additional per-cell lognormal fluctuation
+/// with sigma = cell_sigma * (T/T0 - 1) models thermally activated
+/// conductance instability. T == T0 is a no-op.
+struct ThermalFault final : public analog::FaultModel {
+  double temperature = 300.0;  // Kelvin
+  double t_nominal = 300.0;    // reference temperature the sigmas are rated at
+  double cell_sigma = 0.05;    // lognormal sigma of cell instability per (T/T0 - 1)
+
+  ThermalFault() = default;
+  explicit ThermalFault(double t_kelvin, double t0 = 300.0, double cs = 0.05)
+      : temperature(t_kelvin), t_nominal(t0), cell_sigma(cs) {}
+
+  void prepare_device(analog::RramDeviceParams& dev) const override;
+  void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
+             const analog::RramDeviceParams& dev, Rng& rng) const override;
+  std::string name() const override { return "thermal"; }
+};
+
+/// One named fault scenario: a severity scalar for reporting plus the owned
+/// model list. list() yields the non-owning view the analog layer consumes;
+/// the FaultSpec must outlive every chip programmed with it.
+struct FaultSpec {
+  std::string kind;        // e.g. "stuck_at"; "none" for the control scenario
+  double severity = 0.0;   // the scalar knob the campaign grid sweeps
+  std::vector<std::shared_ptr<const analog::FaultModel>> models;
+
+  analog::FaultList list() const {
+    analog::FaultList out;
+    out.reserve(models.size());
+    for (const auto& m : models) out.push_back(m.get());
+    return out;
+  }
+};
+
+// Grid builders: one FaultSpec per severity value.
+FaultSpec fault_free();
+FaultSpec stuck_at(double rate, double high_fraction = 0.5);
+FaultSpec drift(double t_ratio, double nu_mean = 0.05, double nu_sigma = 0.02);
+FaultSpec ir_drop(double alpha);
+FaultSpec thermal(double temperature, double t_nominal = 300.0);
+
+}  // namespace cn::faultsim

@@ -6,6 +6,7 @@
 // traversal.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,16 @@ class Layer {
 
   /// Analog weight sites, recursively, in execution order.
   virtual void collect_analog(std::vector<PerturbableWeight*>&) {}
+
+  /// Substrate hook for composite analog layers (e.g. core's compensated
+  /// conv, whose base conv sits on the crossbar while its compensation
+  /// blocks stay digital): visits each analog sub-layer together with an
+  /// owning override slot. Installing a layer into the slot makes it execute
+  /// in place of the original at inference; the composite must then reject
+  /// training (backward throws). Leaves do nothing. Visit order must match
+  /// collect_analog's site order.
+  virtual void visit_analog_bases(
+      const std::function<void(const Layer& base, std::unique_ptr<Layer>& override_slot)>&) {}
 
   /// Deep copy (parameters included, caches not required to be preserved).
   virtual std::unique_ptr<Layer> clone() const = 0;

@@ -14,10 +14,15 @@ ChipFarm::ChipFarm(const nn::Sequential& base, const analog::VariationModel& vm,
 }
 
 ChipFarm::ChipFarm(const nn::Sequential& base, const analog::RramDeviceParams& dev,
-                   const ChipFarmOptions& opts)
-    : base_(base.clone_model()), dev_(dev), crossbar_(true), opts_(opts) {
-  if (opts.first_site != 0)
-    throw std::invalid_argument("ChipFarm: crossbar chips have no factor sites");
+                   const ChipFarmOptions& opts, analog::FaultList faults)
+    : base_(base.clone_model()),
+      dev_(dev),
+      faults_(std::move(faults)),
+      crossbar_(true),
+      opts_(opts) {
+  if (opts.first_site != 0 && faults_.empty())
+    throw std::invalid_argument(
+        "ChipFarm: crossbar first_site needs a fault list (no factor sites)");
   init_slots();
 }
 
@@ -61,8 +66,9 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
   Slot& sl = slots_[static_cast<size_t>(slot)];
   Rng rng(chip_seed(s));
   if (crossbar_) {
-    sl.model = std::make_unique<nn::Sequential>(
-        analog::program_to_crossbars(base_, dev_, rng, opts_.tile));
+    sl.model = std::make_unique<nn::Sequential>(analog::program_to_crossbars(
+        base_, dev_, rng, opts_.tile, faults_.empty() ? nullptr : &faults_,
+        opts_.first_site));
     analog::set_read_seeds(*sl.model, read_seed(s));
     return;
   }
@@ -71,8 +77,9 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
 }
 
 void ChipFarm::reconfigure(uint64_t seed, int64_t first_site) {
-  if (crossbar_ && first_site != 0)
-    throw std::invalid_argument("ChipFarm: crossbar chips have no factor sites");
+  if (crossbar_ && first_site != 0 && faults_.empty())
+    throw std::invalid_argument(
+        "ChipFarm: crossbar first_site needs a fault list (no factor sites)");
   opts_.seed = seed;
   opts_.first_site = first_site;
   for (Slot& sl : slots_) sl.sample = -1;

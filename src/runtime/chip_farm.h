@@ -38,7 +38,8 @@ struct ChipFarmOptions {
   int64_t instances = 25;  // logical chips (one per MC sample)
   uint64_t seed = 42;      // farm seed; chip seeds derive deterministically
   int64_t max_live = 0;    // physical slots; 0 = min(instances, pool size)
-  int64_t first_site = 0;  // factor mode: perturb analog sites >= first_site
+  int64_t first_site = 0;  // injection start: factor sites, or fault sites
+                           // when a crossbar farm carries a fault list
   int64_t tile = 128;      // crossbar mode: tile edge length
 };
 
@@ -47,9 +48,12 @@ class ChipFarm {
   /// Factor-injection farm (paper Eq. 1-2 fast path).
   ChipFarm(const nn::Sequential& base, const analog::VariationModel& vm,
            const ChipFarmOptions& opts);
-  /// Device-level farm: every chip programmed onto crossbars.
+  /// Device-level farm: every chip programmed onto crossbars. `faults`
+  /// (faultsim scenario; non-owning, models must outlive the farm) injects
+  /// device faults into analog sites >= opts.first_site of every chip, each
+  /// chip drawing its fault realization from its own chip seed.
   ChipFarm(const nn::Sequential& base, const analog::RramDeviceParams& dev,
-           const ChipFarmOptions& opts);
+           const ChipFarmOptions& opts, analog::FaultList faults = {});
 
   int64_t num_chips() const { return opts_.instances; }
   int64_t num_live() const { return static_cast<int64_t>(slots_.size()); }
@@ -71,7 +75,8 @@ class ChipFarm {
 
   /// Re-keys the whole farm (the Fig. 9 sweep re-runs the same chips with a
   /// new seed and injection start site); live slots are re-materialized
-  /// lazily. Crossbar chips have no factor sites, so first_site must be 0.
+  /// lazily. A crossbar farm accepts first_site only when it carries a fault
+  /// list (fault-injection start); factor sites exist only in factor mode.
   void reconfigure(uint64_t seed, int64_t first_site = 0);
 
   /// The clean base model the chips were derived from.
@@ -85,6 +90,7 @@ class ChipFarm {
   nn::Sequential base_;
   analog::VariationModel vm_;
   analog::RramDeviceParams dev_;
+  analog::FaultList faults_;  // crossbar mode only; empty = fault-free
   bool crossbar_ = false;
   ChipFarmOptions opts_;
 

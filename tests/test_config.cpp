@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 namespace cn::core {
@@ -29,6 +31,52 @@ TEST(RuntimeConfig, EpochScalingNeverBelowOne) {
   EXPECT_EQ(c.epochs(5), 10);
   c.epoch_scale = 0.5;
   EXPECT_EQ(c.epochs(5), 3);  // rounds to nearest
+}
+
+TEST(KeyValueConfig, ParsesCommentsWhitespaceAndOverrides) {
+  const KeyValueConfig cfg = KeyValueConfig::from_string(
+      "# a comment line\n"
+      "  chips = 8   # trailing comment\n"
+      "name= lenet \n"
+      "rate=0.5\n"
+      "list = 1, 2.5 ,3\n"
+      "chips = 12\n"
+      "empty =\n"
+      "not a pair\n");
+  EXPECT_TRUE(cfg.has("chips"));
+  EXPECT_EQ(cfg.integer("chips", -1), 12);  // later key wins
+  EXPECT_EQ(cfg.str("name", "x"), "lenet");
+  EXPECT_DOUBLE_EQ(cfg.number("rate", 0.0), 0.5);
+  const std::vector<double> list = cfg.numbers("list");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[1], 2.5);
+  EXPECT_TRUE(cfg.has("empty"));
+  EXPECT_EQ(cfg.str("empty", "d"), "");
+  EXPECT_EQ(cfg.integer("empty", 4), 4);  // empty value -> default
+  EXPECT_FALSE(cfg.has("missing"));
+  EXPECT_TRUE(cfg.numbers("missing").empty());
+  EXPECT_EQ(cfg.numbers("missing", {7.0}).size(), 1u);
+}
+
+TEST(KeyValueConfig, UnparsableListCellThrows) {
+  // A typo'd severity must not silently shrink a campaign grid.
+  const KeyValueConfig cfg =
+      KeyValueConfig::from_string("rates = 0.1, o.2\ntrailing = 0.5x\n");
+  EXPECT_THROW(cfg.numbers("rates"), std::runtime_error);
+  EXPECT_THROW(cfg.numbers("trailing"), std::runtime_error);
+}
+
+TEST(KeyValueConfig, PartialScalarParsesThrow) {
+  // 'chips = 1O' must not silently run with 1 chip instead of 10.
+  const KeyValueConfig cfg =
+      KeyValueConfig::from_string("chips = 1O\nrate = 0.5x\n");
+  EXPECT_THROW(cfg.integer("chips", 8), std::runtime_error);
+  EXPECT_THROW(cfg.number("rate", 0.0), std::runtime_error);
+}
+
+TEST(KeyValueConfig, MissingFileThrows) {
+  EXPECT_THROW(KeyValueConfig::from_file("/nonexistent/campaign.cfg"),
+               std::runtime_error);
 }
 
 }  // namespace

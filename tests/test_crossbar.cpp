@@ -86,7 +86,7 @@ TEST(CrossbarArray, ReadNoiseOnlyWithRng) {
   Tensor w({4, 4});
   rng.fill_normal(w, 0.0f, 0.5f);
   RramDeviceParams dev = ideal_device();
-  dev.read_sigma = 0.05f;
+  dev.readout.read_sigma = 0.05f;
   CrossbarArray xbar(w, dev, rng, 4);
   Tensor x({4}, 1.0f);
   // Without read rng: deterministic.

@@ -1,0 +1,451 @@
+// The faultsim subsystem: fault-model math, zero-severity no-ops, chip-farm
+// fault injection determinism, the layer-selective fault sweep, and the
+// campaign engine's grid execution + report aggregation + JSON emitter.
+#include "faultsim/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/compensation.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "runtime/chip_farm.h"
+#include "runtime/mc_engine.h"
+
+namespace cn::faultsim {
+namespace {
+
+analog::RramDeviceParams quiet_dev() {
+  analog::RramDeviceParams dev;
+  dev.g_min = 1e-6f;
+  dev.g_max = 1e-4f;
+  return dev;
+}
+
+// Shared tiny trained model + dataset (mirrors test_runtime's fixture).
+struct Fixture {
+  data::SplitDataset ds;
+  nn::Sequential model{"m"};
+
+  Fixture() {
+    data::DigitsSpec spec;
+    spec.train_count = 400;
+    spec.test_count = 60;
+    ds = data::make_digits(spec);
+    Rng rng(1);
+    model = models::lenet5(1, 28, 10, rng);
+    core::TrainConfig cfg;
+    cfg.epochs = 2;
+    core::train(model, ds.train, ds.test, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+Tensor random_weight(int64_t out, int64_t in, uint64_t seed) {
+  Rng rng(seed);
+  Tensor w({out, in});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  return w;
+}
+
+// ---------- fault-model math ----------
+
+TEST(FaultModels, ZeroSeverityIsABitIdenticalNoOp) {
+  // A fault list of zero-severity models must leave a programmed array
+  // bit-identical to a fault-free one, including the rng stream (no draws).
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.2f;
+  Tensor w = random_weight(12, 18, 3);
+
+  FaultSpec zero;
+  zero.models.push_back(std::make_shared<StuckAtFault>(0.0, 0.0));
+  zero.models.push_back(std::make_shared<DriftFault>(1.0));
+  zero.models.push_back(std::make_shared<IrDropFault>(0.0, 0.0));
+  zero.models.push_back(std::make_shared<ThermalFault>(300.0));
+  const analog::FaultList list = zero.list();
+
+  Rng prog_a(7), prog_b(7);
+  analog::CrossbarArray clean(w, dev, prog_a, /*tile=*/8);
+  analog::CrossbarArray faulted(w, dev, prog_b, /*tile=*/8, &list);
+  // Same rng stream position afterwards: programming draws must line up.
+  EXPECT_EQ(prog_a.next_u64(), prog_b.next_u64());
+  Tensor we_clean = clean.effective_weights();
+  Tensor we_fault = faulted.effective_weights();
+  for (int64_t i = 0; i < we_clean.size(); ++i)
+    ASSERT_EQ(we_clean[i], we_fault[i]) << "weight " << i;
+}
+
+TEST(FaultModels, StuckAtRateOneGroundsEveryCell) {
+  // rate_low = 1: every physical cell sits at g_min, so every differential
+  // weight collapses to exactly zero.
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.3f;
+  Tensor w = random_weight(9, 14, 5);
+  FaultSpec s = stuck_at(1.0, /*high_fraction=*/0.0);
+  const analog::FaultList list = s.list();
+  Rng prog(11);
+  analog::CrossbarArray xbar(w, dev, prog, /*tile=*/6, &list);
+  Tensor we = xbar.effective_weights();
+  for (int64_t i = 0; i < we.size(); ++i) ASSERT_EQ(we[i], 0.0f) << "weight " << i;
+}
+
+TEST(FaultModels, StuckAtRateScalesDefectCount) {
+  // At a moderate rate the defect count lands near rate * cells and the
+  // stuck cells sit exactly at g_min or g_max (visible through weights that
+  // moved to extreme values). Checked statistically on the factor grid.
+  analog::RramDeviceParams dev = quiet_dev();
+  Tensor w = random_weight(32, 32, 8);
+  FaultSpec s = stuck_at(0.25, 0.5);
+  const analog::FaultList list = s.list();
+  Rng prog_a(21), prog_b(21);
+  analog::CrossbarArray clean(w, dev, prog_a, 32);
+  analog::CrossbarArray faulted(w, dev, prog_b, 32, &list);
+  Tensor we_clean = clean.effective_weights();
+  Tensor we_fault = faulted.effective_weights();
+  int64_t changed = 0;
+  for (int64_t i = 0; i < we_clean.size(); ++i)
+    if (we_clean[i] != we_fault[i]) ++changed;
+  // P(pair untouched) = (1-rate)^2 = 0.5625 -> E[changed] ~ 0.4375 * 1024.
+  EXPECT_GT(changed, 300);
+  EXPECT_LT(changed, 600);
+}
+
+TEST(FaultModels, DriftIsMonotoneInTimePerCell) {
+  // Same seed -> same per-cell nu draws, so a longer t strictly shrinks
+  // every conductance: g(t=100) <= g(t=10) <= g0 cell by cell.
+  constexpr int64_t kRows = 6, kCols = 10, kN = kRows * kCols;
+  analog::FaultModel::TileCtx ctx;
+  ctx.rows = kRows;
+  ctx.cols = kCols;
+  ctx.array_rows = kRows;
+  ctx.array_cols = kCols;
+  const analog::RramDeviceParams dev = quiet_dev();
+
+  std::vector<float> base(static_cast<size_t>(2 * kN));
+  Rng fill(33);
+  for (float& g : base)
+    g = static_cast<float>(fill.uniform(dev.g_min, dev.g_max));
+
+  auto drifted = [&](double t) {
+    std::vector<float> g = base;
+    DriftFault f(t, 0.05, 0.02);
+    Rng rng(44);  // identical stream for every t
+    f.apply(g.data(), g.data() + kN, ctx, dev, rng);
+    return g;
+  };
+  const std::vector<float> g10 = drifted(10.0);
+  const std::vector<float> g100 = drifted(100.0);
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_LE(g10[i], base[i]) << "cell " << i;
+    ASSERT_LE(g100[i], g10[i]) << "cell " << i;
+  }
+  // And it genuinely decays somewhere.
+  double total_base = 0.0, total_100 = 0.0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    total_base += base[i];
+    total_100 += g100[i];
+  }
+  EXPECT_LT(total_100, 0.9 * total_base);
+}
+
+TEST(FaultModels, IrDropAttenuatesFarCellsMore) {
+  constexpr int64_t kRows = 8, kCols = 8, kN = kRows * kCols;
+  analog::FaultModel::TileCtx ctx;
+  ctx.rows = kRows;
+  ctx.cols = kCols;
+  ctx.array_rows = kRows;
+  ctx.array_cols = kCols;
+  const analog::RramDeviceParams dev = quiet_dev();
+  std::vector<float> gp(static_cast<size_t>(kN), 1e-4f);
+  std::vector<float> gn(static_cast<size_t>(kN), 1e-4f);
+  IrDropFault f(0.2, 0.1);
+  Rng rng(1);
+  f.apply(gp.data(), gn.data(), ctx, dev, rng);
+  // Near corner (0,0) untouched; far corner keeps 1 - 0.2 - 0.1 = 0.7.
+  EXPECT_FLOAT_EQ(gp[0], 1e-4f);
+  EXPECT_NEAR(gp[static_cast<size_t>(kN - 1)], 0.7e-4f, 1e-9f);
+  // Monotone along a wordline (columns) and a bitline (rows).
+  for (int64_t c = 1; c < kCols; ++c) ASSERT_LT(gp[static_cast<size_t>(c)], gp[static_cast<size_t>(c - 1)]);
+  for (int64_t r = 1; r < kRows; ++r)
+    ASSERT_LT(gp[static_cast<size_t>(r * kCols)], gp[static_cast<size_t>((r - 1) * kCols)]);
+  EXPECT_FLOAT_EQ(gn[static_cast<size_t>(kN - 1)], gp[static_cast<size_t>(kN - 1)]);
+}
+
+TEST(FaultModels, ThermalScalesSigmasAndPerturbsCells) {
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.2f;
+  dev.readout.read_sigma = 0.1f;
+  ThermalFault hot(432.0, 300.0);  // sqrt(432/300) = 1.2
+  hot.prepare_device(dev);
+  EXPECT_NEAR(dev.program_sigma, 0.24f, 1e-6f);
+  EXPECT_NEAR(dev.readout.read_sigma, 0.12f, 1e-6f);
+
+  // Above-nominal temperature perturbs conductances; nominal is a no-op.
+  analog::RramDeviceParams ideal = quiet_dev();
+  Tensor w = random_weight(10, 10, 13);
+  FaultSpec hot_spec = thermal(400.0);
+  const analog::FaultList hot_list = hot_spec.list();
+  Rng prog_a(3), prog_b(3);
+  analog::CrossbarArray clean(w, ideal, prog_a, 16);
+  analog::CrossbarArray heated(w, ideal, prog_b, 16, &hot_list);
+  Tensor we_clean = clean.effective_weights();
+  Tensor we_hot = heated.effective_weights();
+  double diff = 0.0;
+  for (int64_t i = 0; i < we_clean.size(); ++i)
+    diff += std::abs(static_cast<double>(we_clean[i]) - we_hot[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+// ---------- chip-farm fault injection ----------
+
+TEST(FaultFarm, ZeroRateFaultsMatchFaultFreeChipBitForBit) {
+  auto& f = fixture();
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.2f;
+  runtime::ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.seed = 9;
+
+  FaultSpec zero;
+  zero.models.push_back(std::make_shared<StuckAtFault>(0.0, 0.0));
+  zero.models.push_back(std::make_shared<DriftFault>(1.0));
+  runtime::ChipFarm clean(f.model, dev, fo);
+  runtime::ChipFarm faulted(f.model, dev, fo, zero.list());
+  runtime::McEngineOptions eo;
+  eo.batch_size = 32;
+  const core::McResult a = runtime::McEngine(clean, eo).accuracy(f.ds.test);
+  const core::McResult b = runtime::McEngine(faulted, eo).accuracy(f.ds.test);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t s = 0; s < a.samples.size(); ++s)
+    EXPECT_DOUBLE_EQ(a.samples[s], b.samples[s]) << "chip " << s;
+}
+
+TEST(FaultFarm, FaultSweepStartSiteGatesInjection) {
+  auto& f = fixture();
+  const analog::RramDeviceParams dev = quiet_dev();
+  FaultSpec s = stuck_at(0.1);
+  const int64_t sites = static_cast<int64_t>(f.model.analog_sites().size());
+
+  auto accuracy_from = [&](int64_t first_site) {
+    runtime::ChipFarmOptions fo;
+    fo.instances = 2;
+    fo.seed = 31;
+    fo.first_site = first_site;
+    runtime::ChipFarm farm(f.model, dev, fo, s.list());
+    runtime::McEngineOptions eo;
+    eo.batch_size = 32;
+    return runtime::McEngine(farm, eo).accuracy(f.ds.test);
+  };
+  // Injecting past the last site leaves the chip fault-free (ideal device).
+  runtime::ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.seed = 31;
+  runtime::ChipFarm clean(f.model, dev, fo);
+  runtime::McEngineOptions eo;
+  eo.batch_size = 32;
+  const core::McResult none = runtime::McEngine(clean, eo).accuracy(f.ds.test);
+  const core::McResult past = accuracy_from(sites);
+  for (size_t i = 0; i < none.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(none.samples[i], past.samples[i]);
+  // Injecting everywhere hurts (10% stuck cells on an ideal device).
+  const core::McResult all = accuracy_from(0);
+  EXPECT_LT(all.mean, none.mean);
+  // Crossbar farms without faults still reject first_site.
+  EXPECT_THROW(
+      {
+        runtime::ChipFarmOptions bad;
+        bad.instances = 1;
+        bad.first_site = 1;
+        runtime::ChipFarm reject(f.model, dev, bad);
+      },
+      std::invalid_argument);
+}
+
+TEST(FaultFarm, CompensatedModelsCarryBaseConvsToTheSubstrate) {
+  // The corrected protection variant wraps convs in CompensatedConv2D; its
+  // analog base must be programmed to the crossbar (via the override slot)
+  // and receive faults, while generator/compensator stay digital. Without
+  // this, the campaign's compensation-on column would be silently fault-free
+  // in its most sensitive layers.
+  auto& f = fixture();
+  core::CompensationPlan plan;
+  const auto convs = core::conv_layer_indices(f.model);
+  ASSERT_FALSE(convs.empty());
+  plan.entries.emplace_back(convs[0], 3);
+  Rng crng(55);
+  nn::Sequential corrected = core::with_compensation(f.model, plan, crng);
+
+  // Ideal device: the substrate-backed corrected chip matches the digital
+  // corrected model, so the base conv really executes through the crossbar.
+  Rng prog(56);
+  nn::Sequential chip = analog::program_to_crossbars(corrected, quiet_dev(), prog);
+  int overrides = 0;
+  for (int64_t i = 0; i < chip.num_layers(); ++i)
+    chip.layer(i).visit_analog_bases(
+        [&](const nn::Layer&, std::unique_ptr<nn::Layer>& slot) {
+          ASSERT_NE(slot, nullptr);
+          EXPECT_EQ(slot->kind(), "crossbar_conv2d");
+          ++overrides;
+        });
+  EXPECT_EQ(overrides, 1);
+  EXPECT_EQ(chip.layer(convs[0]).kind(), "compensated_conv2d");
+  const float acc_ref = core::evaluate(corrected, f.ds.test, 32);
+  const float acc_chip = core::evaluate(chip, f.ds.test, 32);
+  EXPECT_NEAR(acc_chip, acc_ref, 1e-6f);
+  // Training through the substrate is rejected.
+  Tensor x({1, 1, 28, 28});
+  chip.forward(x, false);
+  EXPECT_THROW(chip.layer(convs[0]).backward(Tensor({1, 6, 24, 24})),
+               std::logic_error);
+
+  // Faults reach the compensated base: grounding every cell from site 0
+  // zeroes the override's effective weights too.
+  FaultSpec ground = stuck_at(1.0, 0.0);
+  const analog::FaultList glist = ground.list();
+  Rng gprog(57);
+  nn::Sequential grounded =
+      analog::program_to_crossbars(corrected, quiet_dev(), gprog, 128, &glist, 0);
+  grounded.layer(convs[0]).visit_analog_bases(
+      [&](const nn::Layer&, std::unique_ptr<nn::Layer>& slot) {
+        auto* xc = dynamic_cast<analog::CrossbarConv2D*>(slot.get());
+        ASSERT_NE(xc, nullptr);
+        Tensor we = xc->array().effective_weights();
+        for (int64_t i = 0; i < we.size(); ++i)
+          ASSERT_EQ(we[i], 0.0f) << "weight " << i;
+      });
+}
+
+// ---------- campaign engine ----------
+
+Campaign small_campaign(const Fixture& f, int64_t max_live, int threads) {
+  CampaignOptions co;
+  co.chips = 3;
+  co.seed = 77;
+  co.batch_size = 32;
+  co.max_live = max_live;
+  co.threads = threads;
+  co.dev = quiet_dev();
+  co.dev.program_sigma = 0.1f;
+  Campaign c(co);
+  c.add_model("baseline", f.model, false);
+  c.add_fault(fault_free());
+  c.add_fault(stuck_at(0.05));
+  c.add_fault(drift(100.0));
+  c.add_fault(ir_drop(0.1));
+  return c;
+}
+
+TEST(Campaign, BitIdenticalAcrossThreadAndSlotCounts) {
+  auto& f = fixture();
+  const CampaignReport serial = small_campaign(f, 1, 1).run(f.ds.test);
+  const CampaignReport pooled = small_campaign(f, 3, 0).run(f.ds.test);
+  ASSERT_EQ(serial.scenarios.size(), 4u);
+  ASSERT_EQ(pooled.scenarios.size(), serial.scenarios.size());
+  for (size_t i = 0; i < serial.scenarios.size(); ++i) {
+    const ScenarioResult& a = serial.scenarios[i];
+    const ScenarioResult& b = pooled.scenarios[i];
+    EXPECT_EQ(a.fault_kind, b.fault_kind);
+    ASSERT_EQ(a.acc.samples.size(), b.acc.samples.size());
+    for (size_t s = 0; s < a.acc.samples.size(); ++s)
+      EXPECT_DOUBLE_EQ(a.acc.samples[s], b.acc.samples[s])
+          << "scenario " << i << " chip " << s;
+    EXPECT_DOUBLE_EQ(a.acc.mean, b.acc.mean);
+    EXPECT_EQ(a.catastrophic, b.catastrophic);
+  }
+}
+
+TEST(Campaign, GridRunsPairedVariantsAndAggregates) {
+  // The acceptance grid: 4 fault kinds x severities x compensation on/off
+  // = 24 scenarios. Both variants here share the same trained network, so
+  // the paired per-scenario chip seeds must make their rows bit-identical —
+  // the matched-pairs property the real compensation comparison relies on.
+  auto& f = fixture();
+  CampaignOptions co;
+  co.chips = 2;
+  co.seed = 5;
+  co.batch_size = 32;
+  co.catastrophic_below = 0.15;
+  co.dev = quiet_dev();
+  Campaign c(co);
+  c.add_model("suppressed", f.model, false);
+  c.add_model("corrected", f.model, true);
+  c.add_stuck_at_grid({0.005, 0.02, 0.5});
+  c.add_drift_grid({10.0, 100.0, 1000.0});
+  c.add_ir_drop_grid({0.05, 0.1, 0.2});
+  c.add_thermal_grid({340.0, 400.0, 500.0});
+  ASSERT_EQ(c.num_scenarios(), 24);
+
+  const CampaignReport r = c.run(f.ds.test);
+  ASSERT_EQ(r.scenarios.size(), 24u);
+  EXPECT_EQ(r.chips, 2);
+
+  const auto sup = r.for_model("suppressed");
+  const auto cor = r.for_model("corrected");
+  ASSERT_EQ(sup.size(), 12u);
+  ASSERT_EQ(cor.size(), 12u);
+  for (size_t i = 0; i < sup.size(); ++i) {
+    EXPECT_EQ(sup[i]->fault_kind, cor[i]->fault_kind);
+    EXPECT_EQ(sup[i]->severity, cor[i]->severity);
+    EXPECT_FALSE(sup[i]->compensation);
+    EXPECT_TRUE(cor[i]->compensation);
+    ASSERT_EQ(sup[i]->acc.samples.size(), 2u);
+    for (size_t s = 0; s < 2; ++s)
+      EXPECT_DOUBLE_EQ(sup[i]->acc.samples[s], cor[i]->acc.samples[s])
+          << "pairing broken at scenario " << i;
+  }
+  EXPECT_DOUBLE_EQ(r.mean_accuracy("suppressed"), r.mean_accuracy("corrected"));
+
+  // Catastrophic accounting: totals equal the sum over rows, and the harsh
+  // scenarios (50% stuck cells) must degrade below the mild ones.
+  int64_t sum = 0;
+  for (const ScenarioResult& s : r.scenarios) sum += s.catastrophic;
+  EXPECT_EQ(sum, r.total_catastrophic());
+  double harsh = 1.0, mild = 0.0;
+  for (const ScenarioResult& s : r.scenarios) {
+    if (s.fault_kind == "stuck_at" && s.severity == 0.5) harsh = s.acc.mean;
+    if (s.fault_kind == "stuck_at" && s.severity == 0.005) mild = s.acc.mean;
+  }
+  EXPECT_LT(harsh, mild);
+
+  // JSON report: headline keys and one row per scenario.
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"name\": \"faultsim_campaign\""), std::string::npos);
+  EXPECT_NE(j.find("\"scenarios\": ["), std::string::npos);
+  EXPECT_NE(j.find("\"fault\": \"thermal\""), std::string::npos);
+  EXPECT_NE(j.find("\"compensation\": true"), std::string::npos);
+  size_t rows = 0;
+  for (size_t p = j.find("\"fault\":"); p != std::string::npos;
+       p = j.find("\"fault\":", p + 1))
+    ++rows;
+  EXPECT_EQ(rows, 24u);
+}
+
+TEST(Campaign, ConfigFileBuildsTheGrid) {
+  const core::KeyValueConfig cfg = core::KeyValueConfig::from_string(
+      "# campaign\n"
+      "chips = 4\n"
+      "seed = 11\n"
+      "catastrophic = 0.25\n"
+      "program_sigma = 0.1\n"
+      "stuck.rates = 0.01, 0.05\n"
+      "drift.times = 10, 100\n"
+      "ir.alphas = 0.1\n"
+      "thermal.temps = 400\n");
+  Campaign c = campaign_from_config(cfg);
+  // control + 2 + 2 + 1 + 1 fault specs; no models yet.
+  EXPECT_EQ(c.num_faults(), 7);
+  EXPECT_EQ(c.num_models(), 0);
+  auto& f = fixture();
+  c.add_model("baseline", f.model, false);
+  EXPECT_EQ(c.num_scenarios(), 7);
+}
+
+}  // namespace
+}  // namespace cn::faultsim

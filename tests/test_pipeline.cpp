@@ -1,6 +1,9 @@
 // End-to-end pipeline integration test on a small LeNet/digits workload.
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
@@ -8,6 +11,24 @@
 
 namespace cn::core {
 namespace {
+
+// Statistical slack for comparing two Monte-Carlo accuracy means: a 99.9%
+// normal-approximation confidence interval on the difference. The empirical
+// chip-to-chip stddev already contains the binomial measurement noise of
+// scoring accuracy over n_test images, so it is not added on top; it only
+// serves as a floor (p(1-p)/n_test), protecting against a small sample set
+// understating its own spread. Replaces the hard-coded 0.02 slack that sat
+// within one reseeding of flipping.
+double mc_ordering_slack(const McResult& a, const McResult& b, int64_t n_test) {
+  const double n = static_cast<double>(std::max<size_t>(1, a.samples.size()));
+  auto variance_of_mean = [&](const McResult& r) {
+    const double p = std::clamp(r.mean, 1e-6, 1.0 - 1e-6);
+    const double binomial = p * (1.0 - p) / static_cast<double>(n_test);
+    return std::max(r.stddev * r.stddev, binomial) / n;
+  };
+  const double z999 = 3.29;  // two-sided 99.9%
+  return z999 * std::sqrt(variance_of_mean(a) + variance_of_mean(b));
+}
 
 TEST(Pipeline, FullRunRecoversAccuracy) {
   data::DigitsSpec spec;
@@ -23,7 +44,7 @@ TEST(Pipeline, FullRunRecoversAccuracy) {
   cfg.lipschitz_train.lipschitz.beta = 3e-2f;
   cfg.comp_train.epochs = 3;
   cfg.comp_train.lr = 2e-3f;
-  cfg.mc.samples = 16;  // tight enough for the ordering margins below
+  cfg.mc.samples = 16;  // the ordering slack below scales with this
   cfg.plan_mode = PlanMode::kFixedRatio;
   cfg.fixed_ratio = 0.5f;
 
@@ -38,10 +59,14 @@ TEST(Pipeline, FullRunRecoversAccuracy) {
   EXPECT_GT(r.clean_acc_lipschitz, 0.80f);
 
   // Degradation under variations, then recovery ordering:
-  // corrected > suppression-only > baseline (allowing small noise slack).
+  // corrected > suppression-only > baseline, up to MC sampling error.
+  const int64_t n_test = ds.test.size();
   EXPECT_LT(r.base_var.mean, r.clean_acc_base);
-  EXPECT_GT(r.lipschitz_var.mean, r.base_var.mean - 0.02);
-  EXPECT_GT(r.corrected_var.mean, r.lipschitz_var.mean - 0.02);
+  EXPECT_GT(r.lipschitz_var.mean,
+            r.base_var.mean - mc_ordering_slack(r.lipschitz_var, r.base_var, n_test));
+  EXPECT_GT(r.corrected_var.mean,
+            r.lipschitz_var.mean -
+                mc_ordering_slack(r.corrected_var, r.lipschitz_var, n_test));
   EXPECT_GT(r.corrected_var.mean, r.base_var.mean);
 
   // Artifacts populated.

@@ -58,8 +58,8 @@ TEST(CrossbarMatmul, MatchesMatvecExactlyUnderQuantization) {
   analog::RramDeviceParams dev = quiet_dev();
   dev.program_sigma = 0.2f;
   dev.conductance_levels = 16;
-  dev.adc_bits = 8;
-  dev.dac_bits = 6;
+  dev.readout.adc_bits = 8;
+  dev.readout.dac_bits = 6;
   Rng rng(11);
   Tensor w({9, 20});  // (out, in): 20 inputs, 9 outputs
   rng.fill_normal(w, 0.0f, 0.5f);
@@ -178,7 +178,7 @@ TEST(McEngine, CrossbarReadNoiseIdenticalAcrossSlotCountsAndRuns) {
   auto& f = fixture();
   analog::RramDeviceParams dev = quiet_dev();
   dev.program_sigma = 0.2f;
-  dev.read_sigma = 0.05f;
+  dev.readout.read_sigma = 0.05f;
   auto run = [&](int64_t max_live) {
     ChipFarmOptions fo;
     fo.instances = 3;
@@ -249,7 +249,7 @@ TEST(McEngine, SensitivitySweepMatchesCoreApi) {
 TEST(ReadNoise, OwnedStreamsAreDeterministicUnderConcurrency) {
   auto& f = fixture();
   analog::RramDeviceParams dev = quiet_dev();
-  dev.read_sigma = 0.05f;
+  dev.readout.read_sigma = 0.05f;
   Rng prog(31);
   nn::Sequential chip = analog::program_to_crossbars(f.model, dev, prog);
   analog::set_read_seeds(chip, 555);
