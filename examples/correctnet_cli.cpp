@@ -99,6 +99,7 @@ struct FaultArgs {
   std::string config;  // key=value campaign file; empty = built-in quick grid
   std::string out = "faultsim_report.json";
   int64_t chips = 0;  // >0 overrides the config's chip count
+  bool remap = false; // force the fault-aware remapping axis on
   int epochs = 3;
   int comp_epochs = 3;
   float sigma = 0.5f;
@@ -110,7 +111,7 @@ struct FaultArgs {
   std::fprintf(stderr,
                "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
-               "          [--sigma S]\n",
+               "          [--sigma S] [--remap]\n",
                argv0);
   std::exit(2);
 }
@@ -126,6 +127,7 @@ FaultArgs parse_faults(int argc, char** argv) {
     if (k == "--config") a.config = next();
     else if (k == "--out") a.out = next();
     else if (k == "--chips") a.chips = std::atoll(next());
+    else if (k == "--remap") a.remap = true;
     else if (k == "--epochs") a.epochs = std::atoi(next());
     else if (k == "--comp-epochs") a.comp_epochs = std::atoi(next());
     else if (k == "--train") a.train = std::atoll(next());
@@ -152,24 +154,17 @@ int run_faults(int argc, char** argv) {
   const FaultArgs args = parse_faults(argc, argv);
 
   // Load and parse the campaign grid first: a bad --config path or value
-  // must fail before minutes of training, not after. Later keys override
-  // earlier ones, so flag overrides are plain appends.
-  std::string cfg_text = kDefaultCampaign;
-  if (!args.config.empty()) {
-    std::ifstream is(args.config);
-    if (!is) {
-      std::fprintf(stderr, "cannot open campaign config %s\n", args.config.c_str());
-      return 2;
-    }
-    std::stringstream ss;
-    ss << is.rdbuf();
-    cfg_text = ss.str();
-  }
-  if (args.chips > 0) cfg_text += "\nchips = " + std::to_string(args.chips) + "\n";
+  // must fail before minutes of training, not after. Flag overrides go
+  // through KeyValueConfig::set (the parser rejects duplicate keys).
   faultsim::Campaign campaign = [&] {
     try {
-      return faultsim::campaign_from_config(
-          core::KeyValueConfig::from_string(cfg_text));
+      core::KeyValueConfig cfg =
+          args.config.empty()
+              ? core::KeyValueConfig::from_string(kDefaultCampaign)
+              : core::KeyValueConfig::from_file(args.config);
+      if (args.chips > 0) cfg.set("chips", std::to_string(args.chips));
+      if (args.remap) cfg.set("remap", "1");
+      return faultsim::campaign_from_config(cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bad campaign config%s%s: %s\n",
                    args.config.empty() ? "" : " ", args.config.c_str(), e.what());
@@ -203,10 +198,11 @@ int run_faults(int argc, char** argv) {
   };
 
   std::printf("\nrunning fault campaign: %lld scenarios (%lld fault specs x %lld "
-              "protection variants)\n",
+              "protection variants%s)\n",
               static_cast<long long>(campaign.num_scenarios()),
               static_cast<long long>(campaign.num_faults()),
-              static_cast<long long>(campaign.num_models()));
+              static_cast<long long>(campaign.num_models()),
+              campaign.remap_enabled() ? " x 2 remap variants" : "");
   const faultsim::CampaignReport report = campaign.run(ds.test);
 
   std::printf("\n==== fault campaign (%lld chips/scenario, %.2fs) ====\n",
@@ -217,7 +213,9 @@ int run_faults(int argc, char** argv) {
     const faultsim::ScenarioResult* sup = nullptr;
     const faultsim::ScenarioResult* cor = nullptr;
     for (const auto& s : report.scenarios) {
-      if (s.fault_kind != row->fault_kind || s.severity != row->severity) continue;
+      if (s.fault_kind != row->fault_kind || s.severity != row->severity ||
+          s.remapped != row->remapped)
+        continue;
       if (s.model_name == "suppressed") sup = &s;
       if (s.model_name == "corrected") cor = &s;
     }
@@ -232,9 +230,16 @@ int run_faults(int argc, char** argv) {
       }
       return std::string(buf);
     };
-    std::printf("%-10s %-9.4g | %-22s %-22s %-22s\n", row->fault_kind.c_str(),
+    const std::string label =
+        row->fault_kind + (row->remapped ? "+rm" : "");
+    std::printf("%-10s %-9.4g | %-22s %-22s %-22s\n", label.c_str(),
                 row->severity, cell(row).c_str(), cell(sup).c_str(),
                 cell(cor).c_str());
+    if (row->remapped && row->defects > 0)
+      std::printf("%-10s %-9s |   defects %lld, absorbed %lld, residual %lld\n",
+                  "", "", static_cast<long long>(row->defects),
+                  static_cast<long long>(row->absorbed),
+                  static_cast<long long>(row->residual));
   }
   std::printf("mean over grid: baseline %.2f%%, suppressed %.2f%%, corrected "
               "%.2f%%; catastrophic chips: %lld\n",
@@ -242,6 +247,12 @@ int run_faults(int argc, char** argv) {
               100.0 * report.mean_accuracy("suppressed"),
               100.0 * report.mean_accuracy("corrected"),
               static_cast<long long>(report.total_catastrophic()));
+  if (report.total_absorbed() > 0)
+    std::printf("remap axis: baseline %.2f%% -> %.2f%% with remapping; "
+                "defective devices absorbed across the grid: %lld\n",
+                100.0 * report.mean_accuracy("baseline", false),
+                100.0 * report.mean_accuracy("baseline", true),
+                static_cast<long long>(report.total_absorbed()));
   report.write_json(args.out);
   std::printf("report -> %s\n", args.out.c_str());
   return 0;

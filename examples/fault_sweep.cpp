@@ -6,6 +6,11 @@
 // the crossbar substrate and stuck-at cell defects are injected only into
 // analog sites >= i (runtime::ChipFarm first_site + faultsim fault list),
 // reusing McEngine::sensitivity_sweep unchanged.
+//
+// --spare N additionally runs the sweep with the fault-aware remapping
+// controller on (N spare rows + N spare columns per tile, differential-pair
+// swap enabled) on the *same* chip seeds, printing the matched-pair recovery
+// and how many defective devices the controller absorbed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,11 +26,14 @@ int main(int argc, char** argv) {
   using namespace cn;
   double rate = 0.05;
   int chips = 6;
+  int64_t spare = -1;  // <0 = remap comparison off
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc)
       rate = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc)
       chips = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--spare") == 0 && i + 1 < argc)
+      spare = std::atoll(argv[++i]);
   }
 
   data::DigitsSpec spec;
@@ -49,13 +57,54 @@ int main(int argc, char** argv) {
   runtime::McEngine engine(farm);
   const auto sweep = engine.sensitivity_sweep(ds.test, sites, /*base_seed=*/42);
 
+  const bool remapping = spare >= 0;
+  std::vector<core::SensitivityPoint> remapped;
+  remap::RemapStats absorbed_at_full;
+  if (remapping) {
+    runtime::ChipFarmOptions ro = fo;
+    ro.remap.enabled = true;
+    ro.remap.spare_rows = spare;
+    ro.remap.spare_cols = spare;
+    runtime::ChipFarm rfarm(model, analog::RramDeviceParams{}, ro, fault.list());
+    runtime::McEngine rengine(rfarm);
+    // Same base seed: point i re-keys with the seed the unremapped sweep
+    // used, so each pair of rows sees identical defect maps.
+    remapped = rengine.sensitivity_sweep(ds.test, sites, /*base_seed=*/42);
+    // Repair accounting at the full-injection point (faults from site 0).
+    rfarm.reconfigure(42, 0);
+    for (int64_t s = 0; s < chips; ++s)
+      absorbed_at_full += rfarm.chip_remap_stats(s);
+  }
+
   std::printf("\nstuck-at layer sensitivity (rate %.3f, %d chips, clean %.2f%%):\n",
               rate, chips, 100.0f * clean);
-  std::printf("  %-28s %-10s %s\n", "faults injected from site", "mean", "stddev");
-  for (const auto& p : sweep) {
-    std::printf("  site %2lld .. last               %6.2f%%   %5.2f%%\n",
-                static_cast<long long>(p.first_site), 100.0 * p.mean,
-                100.0 * p.stddev);
+  if (remapping)
+    std::printf("  %-28s %-18s %s\n", "faults injected from site",
+                "no remap", "remap");
+  else
+    std::printf("  %-28s %-10s %s\n", "faults injected from site", "mean", "stddev");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& p = sweep[i];
+    if (remapping) {
+      std::printf("  site %2lld .. last               %6.2f%%          %6.2f%%\n",
+                  static_cast<long long>(p.first_site), 100.0 * p.mean,
+                  100.0 * remapped[i].mean);
+    } else {
+      std::printf("  site %2lld .. last               %6.2f%%   %5.2f%%\n",
+                  static_cast<long long>(p.first_site), 100.0 * p.mean,
+                  100.0 * p.stddev);
+    }
+  }
+  if (remapping) {
+    std::printf("\nremap controller at full injection (%d chips, %lld spare "
+                "rows+cols per tile):\n  %lld defective devices, %lld absorbed "
+                "(%lld swapped, %lld spared), %lld residual\n",
+                chips, static_cast<long long>(spare),
+                static_cast<long long>(absorbed_at_full.defects),
+                static_cast<long long>(absorbed_at_full.absorbed()),
+                static_cast<long long>(absorbed_at_full.swapped),
+                static_cast<long long>(absorbed_at_full.spared),
+                static_cast<long long>(absorbed_at_full.residual));
   }
   std::printf("\nreading: the earlier the first faulty layer, the larger the "
               "drop — early\nlayers amplify device faults exactly like they "

@@ -1,6 +1,7 @@
 #include "analog/crossbar.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -54,9 +55,44 @@ void CrossbarTile::sync_double_copies() {
 }
 
 void CrossbarTile::apply_faults(const FaultList& faults,
-                                const FaultModel::TileCtx& ctx, Rng& rng) {
-  for (const FaultModel* f : faults)
-    f->apply(g_pos_.data(), g_neg_.data(), ctx, dev_, rng);
+                                const FaultModel::TileCtx& ctx, Rng& rng,
+                                const remap::RemapParams* remap,
+                                remap::RemapStats* stats) {
+  if (!remap || !remap->active()) {
+    for (const FaultModel* f : faults)
+      f->apply(g_pos_.data(), g_neg_.data(), ctx, dev_, rng);
+    sync_double_copies();
+    return;
+  }
+  // Repairs run per model, immediately after that model's defect map is
+  // known: repair targets are the conductances the model actually disturbed
+  // (so stuck-at stacked on drift restores the *drifted* values, not
+  // stale pre-drift ones), and soft nonidealities later in the list age
+  // repaired devices exactly like every other device. The tile's spare
+  // budget is shared across the whole list.
+  remap::RemapParams budget = *remap;
+  std::vector<float> pre_pos, pre_neg;
+  for (const FaultModel* f : faults) {
+    if (!f->has_defect_map()) {
+      // Soft nonideality: nothing to repair, no snapshot needed.
+      f->apply(g_pos_.data(), g_neg_.data(), ctx, dev_, rng);
+      continue;
+    }
+    pre_pos = g_pos_;
+    pre_neg = g_neg_;
+    remap::DefectMap defects;
+    f->apply_mapped(g_pos_.data(), g_neg_.data(), ctx, dev_, rng, &defects);
+    if (defects.empty()) continue;
+    const remap::RemapController ctl(budget);
+    const remap::RemapPlan plan = ctl.plan(defects, rows_, cols_,
+                                           pre_pos.data(), pre_neg.data(),
+                                           dev_.g_min, dev_.g_max);
+    const remap::RemapStats s = ctl.apply(plan, g_pos_.data(), g_neg_.data(),
+                                          pre_pos.data(), pre_neg.data());
+    budget.spare_rows -= s.spare_rows_used;
+    budget.spare_cols -= s.spare_cols_used;
+    if (stats) *stats += s;
+  }
   sync_double_copies();
 }
 
@@ -175,44 +211,79 @@ block_currents_avx512(const double* gp, const double* gn, int64_t rows,
   block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
 }
 
-template <int RB, bool CONTIG>
-BlockKernel pick_block_kernel() {
-  if (__builtin_cpu_supports("avx512f")) return &block_currents_avx512<RB, CONTIG>;
-  if (__builtin_cpu_supports("avx2")) return &block_currents_avx2<RB, CONTIG>;
-  return &block_currents_generic<RB, CONTIG>;
-}
-// AVX-512's 32 registers hold an 8-row accumulator block; narrower ISAs
-// spill past 4 rows.
-int64_t pick_row_block() { return __builtin_cpu_supports("avx512f") ? 8 : 4; }
+#define CN_HAVE_X86_TARGETS 1
 #else
-template <int RB, bool CONTIG>
-BlockKernel pick_block_kernel() {
-  return &block_currents_generic<RB, CONTIG>;
-}
-int64_t pick_row_block() { return 4; }
+#define CN_HAVE_X86_TARGETS 0
 #endif
 
-const BlockKernel kBlockKernels[2][8] = {
-    {pick_block_kernel<1, false>(), pick_block_kernel<2, false>(),
-     pick_block_kernel<3, false>(), pick_block_kernel<4, false>(),
-     pick_block_kernel<5, false>(), pick_block_kernel<6, false>(),
-     pick_block_kernel<7, false>(), pick_block_kernel<8, false>()},
-    {pick_block_kernel<1, true>(), pick_block_kernel<2, true>(),
-     pick_block_kernel<3, true>(), pick_block_kernel<4, true>(),
-     pick_block_kernel<5, true>(), pick_block_kernel<6, true>(),
-     pick_block_kernel<7, true>(), pick_block_kernel<8, true>()}};
-const int64_t kRowBlock = pick_row_block();
+// One kernel table per ISA level (level-major: generic, avx2, avx512f), so
+// dispatch can be pinned per level for the SIMD-parity tests. Builds without
+// x86 target attributes alias every level to the generic kernels.
+#define CN_KERNEL_LEVEL(fn)                                                   \
+  {{fn<1, false>, fn<2, false>, fn<3, false>, fn<4, false>, fn<5, false>,     \
+    fn<6, false>, fn<7, false>, fn<8, false>},                                \
+   {fn<1, true>, fn<2, true>, fn<3, true>, fn<4, true>, fn<5, true>,          \
+    fn<6, true>, fn<7, true>, fn<8, true>}}
+
+const BlockKernel kKernelTable[3][2][8] = {
+    CN_KERNEL_LEVEL(block_currents_generic),
+#if CN_HAVE_X86_TARGETS
+    CN_KERNEL_LEVEL(block_currents_avx2),
+    CN_KERNEL_LEVEL(block_currents_avx512),
+#else
+    CN_KERNEL_LEVEL(block_currents_generic),
+    CN_KERNEL_LEVEL(block_currents_generic),
+#endif
+};
+#undef CN_KERNEL_LEVEL
+
+SimdLevel detect_simd_level() {
+#if CN_HAVE_X86_TARGETS
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512f;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kGeneric;
+}
+
+// -1 = auto (host detection); otherwise a pinned SimdLevel.
+std::atomic<int> g_forced_simd{-1};
 
 }  // namespace
+
+SimdLevel simd_max_level() {
+  static const SimdLevel max = detect_simd_level();
+  return max;
+}
+
+bool force_simd_level(SimdLevel level) {
+  if (static_cast<int>(level) < 0 || level > simd_max_level()) return false;
+  g_forced_simd.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+void reset_simd_level() {
+  g_forced_simd.store(-1, std::memory_order_relaxed);
+}
+
+SimdLevel current_simd_level() {
+  const int forced = g_forced_simd.load(std::memory_order_relaxed);
+  return forced < 0 ? simd_max_level() : static_cast<SimdLevel>(forced);
+}
 
 void CrossbarTile::accumulate_rows(const float* x, int64_t nitems,
                                    int64_t x_item_stride, int64_t x_word_stride,
                                    float* y, int64_t ldy, Rng* const* row_rngs,
                                    float* cur_scratch) const {
-  const BlockKernel* kernels = kBlockKernels[x_item_stride == 1 ? 1 : 0];
+  const SimdLevel level = current_simd_level();
+  const BlockKernel* kernels =
+      kKernelTable[static_cast<int>(level)][x_item_stride == 1 ? 1 : 0];
+  // AVX-512's 32 registers hold an 8-row accumulator block; narrower ISAs
+  // spill past 4 rows. Blocking width never changes results (items
+  // accumulate independently), only register pressure.
+  const int64_t row_block = level == SimdLevel::kAvx512f ? 8 : 4;
   int64_t done = 0;
   while (done < nitems) {
-    const int64_t rb = std::min<int64_t>(kRowBlock, nitems - done);
+    const int64_t rb = std::min<int64_t>(row_block, nitems - done);
     kernels[rb - 1](gd_pos_.data(), gd_neg_.data(), rows_, cols_,
                     x + done * x_item_stride, x_item_stride, x_word_stride,
                     cur_scratch, cols_);
@@ -231,7 +302,8 @@ Tensor CrossbarTile::effective_weights() const {
 }
 
 CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev,
-                             Rng& rng, int64_t tile, const FaultList* faults) {
+                             Rng& rng, int64_t tile, const FaultList* faults,
+                             const remap::RemapParams* remap) {
   if (w_out_in.rank() != 2)
     throw std::invalid_argument("CrossbarArray: weight must be rank-2");
   if (tile < 1) throw std::invalid_argument("CrossbarArray: tile must be positive");
@@ -265,7 +337,8 @@ CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev
         ctx.col0 = c0;
         ctx.array_rows = in_;
         ctx.array_cols = out_;
-        tiles_.back().tile.apply_faults(*faults, ctx, rng);
+        tiles_.back().tile.apply_faults(*faults, ctx, rng, remap,
+                                        &remap_stats_);
       }
     }
   }

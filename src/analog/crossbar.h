@@ -18,10 +18,31 @@
 
 #include "analog/quant.h"
 #include "analog/variation.h"
+#include "remap/remap.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
 namespace cn::analog {
+
+/// Runtime ISA levels of the batched crossbar kernels. The dispatcher picks
+/// the widest level the host supports; tests and benches can pin a lower one
+/// to prove all variants produce bit-identical results.
+enum class SimdLevel : int { kGeneric = 0, kAvx2 = 1, kAvx512f = 2 };
+
+/// Widest level this build + host can execute.
+SimdLevel simd_max_level();
+
+/// Pins batched-kernel dispatch to `level` for subsequent matmuls (the
+/// forced-dispatch parity tests). Returns false — leaving dispatch unchanged
+/// — when the build or host cannot execute the level. Not synchronized with
+/// concurrently running matmuls; flip it only between calls.
+bool force_simd_level(SimdLevel level);
+
+/// Restores runtime auto-selection.
+void reset_simd_level();
+
+/// The level the next batched matmul will dispatch to.
+SimdLevel current_simd_level();
 
 /// Readout-periphery knobs of a crossbar tile: everything that perturbs or
 /// quantizes the signal path at read time rather than at programming time.
@@ -74,6 +95,26 @@ class FaultModel {
   virtual void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
                      const RramDeviceParams& dev, Rng& rng) const = 0;
 
+  /// Like apply(), but additionally records hard-defective devices into
+  /// `defects` (nullable) for the fault-aware remapping controller. Models
+  /// with a program-time defect map (StuckAtFault) override this; soft
+  /// nonidealities have nothing discrete to report and inherit the default,
+  /// which forwards to apply(). Overrides MUST draw from `rng` in exactly
+  /// the same sequence as apply() so remapped and unremapped chips built
+  /// from one seed see identical fault realizations (the campaign's
+  /// matched-pair axis depends on it).
+  virtual void apply_mapped(float* g_pos, float* g_neg, const TileCtx& ctx,
+                            const RramDeviceParams& dev, Rng& rng,
+                            remap::DefectMap* defects) const {
+    (void)defects;
+    apply(g_pos, g_neg, ctx, dev, rng);
+  }
+
+  /// Whether this model can report defects via apply_mapped. Soft
+  /// nonidealities return false so the remap hook skips the per-model
+  /// conductance snapshot for them.
+  virtual bool has_defect_map() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -104,8 +145,19 @@ class CrossbarTile {
   /// transform; see FaultModel). Both execution paths read the transformed
   /// arrays, so batched matmul stays bit-identical to matvec under every
   /// model. CrossbarArray calls this right after placing each tile.
+  ///
+  /// With active `remap` params this is also the tile's remap hook: each
+  /// model's defect map is collected as it runs (FaultModel::apply_mapped —
+  /// same rng draws either way) and a remap::RemapController immediately
+  /// plans and applies spare-line/pair-swap repairs against the values that
+  /// model disturbed, sharing the tile's spare budget across the list, all
+  /// before the batched copies are rebuilt. Soft nonidealities later in the
+  /// list age repaired devices like any other. Repair accounting
+  /// accumulates into `stats` (nullable). Zero defects -> no plan, no extra
+  /// rng draws.
   void apply_faults(const FaultList& faults, const FaultModel::TileCtx& ctx,
-                    Rng& rng);
+                    Rng& rng, const remap::RemapParams* remap = nullptr,
+                    remap::RemapStats* stats = nullptr);
 
   /// y_j += Σ_i x_i · w_eff(i,j); applies read noise/ADC if configured.
   void accumulate_matvec(const float* x, float* y, Rng* read_rng) const;
@@ -160,9 +212,13 @@ class CrossbarArray {
   /// array's private device-parameter copy (prepare_device) and then
   /// transforms every tile's conductances in place right after that tile is
   /// programmed, drawing from the same `rng` stream — so a chip remains a
-  /// pure function of its seed.
+  /// pure function of its seed. Active `remap` params additionally run the
+  /// fault-aware remapping controller on every tile (see
+  /// CrossbarTile::apply_faults); the summed repair accounting is readable
+  /// via remap_stats().
   CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev, Rng& rng,
-                int64_t tile = 128, const FaultList* faults = nullptr);
+                int64_t tile = 128, const FaultList* faults = nullptr,
+                const remap::RemapParams* remap = nullptr);
 
   int64_t in_dim() const { return in_; }
   int64_t out_dim() const { return out_; }
@@ -191,6 +247,10 @@ class CrossbarArray {
   /// Reconstructs the full effective weight matrix (out, in) for validation.
   Tensor effective_weights() const;
 
+  /// Repair accounting summed over every tile (all-zero when remapping was
+  /// off or no defects occurred).
+  const remap::RemapStats& remap_stats() const { return remap_stats_; }
+
  private:
   Tensor matmul_impl(const float* xd, int64_t n, bool colmajor, Rng* read_rng) const;
 
@@ -201,6 +261,7 @@ class CrossbarArray {
   int64_t in_, out_;
   int64_t max_tile_cols_ = 0;
   RramDeviceParams dev_;
+  remap::RemapStats remap_stats_;
   std::vector<Placed> tiles_;
   // Tile indices grouped by col0 (disjoint output column ranges): the unit
   // of parallelism in matmul. Within a group, tiles stay in construction

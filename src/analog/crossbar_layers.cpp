@@ -5,9 +5,10 @@
 namespace cn::analog {
 
 CrossbarDense::CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev,
-                             Rng& prog_rng, int64_t tile, const FaultList* faults)
+                             Rng& prog_rng, int64_t tile, const FaultList* faults,
+                             const remap::RemapParams* remap)
     : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
-                                            tile, faults)),
+                                            tile, faults, remap)),
       bias_(const_cast<nn::Dense&>(src).bias().value) {
   label_ = src.label() + "@xbar";
 }
@@ -43,9 +44,10 @@ std::unique_ptr<nn::Layer> CrossbarDense::clone() const {
 }
 
 CrossbarConv2D::CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev,
-                               Rng& prog_rng, int64_t tile, const FaultList* faults)
+                               Rng& prog_rng, int64_t tile, const FaultList* faults,
+                               const remap::RemapParams* remap)
     : xbar_(std::make_shared<CrossbarArray>(src.nominal_weight(), dev, prog_rng,
-                                            tile, faults)),
+                                            tile, faults, remap)),
       geom_(src.geom()),
       out_c_(src.out_channels()),
       bias_(const_cast<nn::Conv2D&>(src).bias().value) {
@@ -106,19 +108,24 @@ std::unique_ptr<nn::Layer> CrossbarConv2D::clone() const {
 nn::Sequential program_to_crossbars(const nn::Sequential& model,
                                     const RramDeviceParams& dev, Rng& prog_rng,
                                     int64_t tile, const FaultList* faults,
-                                    int64_t first_fault_site) {
+                                    int64_t first_fault_site,
+                                    const remap::RemapParams* remap) {
   nn::Sequential out(model.label() + "@xbar");
   int64_t site = 0;  // analog sites in execution order, matching perturb_from
   auto to_crossbar = [&](const nn::Layer& src) -> std::unique_ptr<nn::Layer> {
     const FaultList* site_faults =
         (faults && site >= first_fault_site) ? faults : nullptr;
+    // Remapping repairs injected defect maps, so it rides the same window.
+    const remap::RemapParams* site_remap = site_faults ? remap : nullptr;
     if (const auto* d = dynamic_cast<const nn::Dense*>(&src)) {
       ++site;
-      return std::make_unique<CrossbarDense>(*d, dev, prog_rng, tile, site_faults);
+      return std::make_unique<CrossbarDense>(*d, dev, prog_rng, tile, site_faults,
+                                             site_remap);
     }
     if (const auto* c = dynamic_cast<const nn::Conv2D*>(&src)) {
       ++site;
-      return std::make_unique<CrossbarConv2D>(*c, dev, prog_rng, tile, site_faults);
+      return std::make_unique<CrossbarConv2D>(*c, dev, prog_rng, tile, site_faults,
+                                              site_remap);
     }
     return nullptr;
   };
@@ -173,6 +180,13 @@ void set_read_seeds(nn::Sequential& model, uint64_t seed) {
 
 void set_batched(nn::Sequential& model, bool batched) {
   for_each_crossbar_layer(model, [&](auto& l) { l.set_batched(batched); });
+}
+
+remap::RemapStats collect_remap_stats(nn::Sequential& model) {
+  remap::RemapStats total;
+  for_each_crossbar_layer(model,
+                          [&](auto& l) { total += l.array().remap_stats(); });
+  return total;
 }
 
 }  // namespace cn::analog

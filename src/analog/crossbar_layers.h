@@ -31,9 +31,11 @@ class CrossbarDense final : public nn::Layer {
  public:
   /// Programs the crossbar from the trained layer's nominal weights;
   /// `faults` (optional, non-owning) injects device faults at programming
-  /// time (see analog::FaultModel).
+  /// time (see analog::FaultModel), and active `remap` params run the
+  /// fault-aware remapping controller over the injected defect maps.
   CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev, Rng& prog_rng,
-                int64_t tile = 128, const FaultList* faults = nullptr);
+                int64_t tile = 128, const FaultList* faults = nullptr,
+                const remap::RemapParams* remap = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
@@ -71,7 +73,8 @@ class CrossbarDense final : public nn::Layer {
 class CrossbarConv2D final : public nn::Layer {
  public:
   CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& dev, Rng& prog_rng,
-                 int64_t tile = 128, const FaultList* faults = nullptr);
+                 int64_t tile = 128, const FaultList* faults = nullptr,
+                 const remap::RemapParams* remap = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
@@ -107,11 +110,16 @@ class CrossbarConv2D final : public nn::Layer {
 /// the analog sites with execution-order index >= first_fault_site — the
 /// fault-campaign analogue of the paper's Fig. 9 "inject from the i-th layer
 /// to the last layer" sweep; 0 faults every site.
+/// Active `remap` params run the fault-aware remapping controller on every
+/// faulted site (remapping repairs the defect maps faults inject, so it is
+/// gated by the same first_fault_site window); per-chip repair accounting is
+/// readable via collect_remap_stats.
 nn::Sequential program_to_crossbars(const nn::Sequential& model,
                                     const RramDeviceParams& dev, Rng& prog_rng,
                                     int64_t tile = 128,
                                     const FaultList* faults = nullptr,
-                                    int64_t first_fault_site = 0);
+                                    int64_t first_fault_site = 0,
+                                    const remap::RemapParams* remap = nullptr);
 
 /// Gives every crossbar layer in `model` (recursing into nested Sequentials)
 /// its own read-noise stream, seeded deterministically from `seed`. Replaces
@@ -120,5 +128,10 @@ void set_read_seeds(nn::Sequential& model, uint64_t seed);
 
 /// Toggles batched vs per-column execution on every crossbar layer.
 void set_batched(nn::Sequential& model, bool batched);
+
+/// Sums the remap repair accounting over every crossbar layer of a chip
+/// (recursing into nested Sequentials and compensated-layer override slots).
+/// All-zero when the chip was programmed without remapping or defect-free.
+remap::RemapStats collect_remap_stats(nn::Sequential& model);
 
 }  // namespace cn::analog

@@ -58,22 +58,62 @@ KeyValueConfig KeyValueConfig::from_string(const std::string& text) {
   KeyValueConfig cfg;
   std::istringstream is(text);
   std::string line;
+  int lineno = 0;
   while (std::getline(is, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     const auto eq = line.find('=');
-    if (eq == std::string::npos) continue;
+    if (eq == std::string::npos) {
+      // A non-blank line that is not a pair is a malformed config, not
+      // decoration: 'chips 8' silently ignored would run the default.
+      if (!trimmed(line).empty())
+        throw std::runtime_error("KeyValueConfig: malformed line " +
+                                 std::to_string(lineno) + " (no '='): '" +
+                                 trimmed(line) + "'");
+      continue;
+    }
     const std::string key = trimmed(line.substr(0, eq));
-    if (key.empty()) continue;
+    if (key.empty())
+      throw std::runtime_error("KeyValueConfig: malformed line " +
+                               std::to_string(lineno) + " (empty key)");
+    // Duplicate keys throw instead of one silently winning; programmatic
+    // overrides go through set().
+    if (cfg.find(key))
+      throw std::runtime_error("KeyValueConfig: duplicate key '" + key +
+                               "' at line " + std::to_string(lineno));
     cfg.kv_.emplace_back(key, trimmed(line.substr(eq + 1)));
   }
+  if (cfg.kv_.empty())
+    throw std::runtime_error(
+        "KeyValueConfig: no key=value pairs (empty config)");
   return cfg;
 }
 
+void KeyValueConfig::set(const std::string& key, const std::string& value) {
+  for (auto& kv : kv_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  kv_.emplace_back(key, value);
+}
+
+void KeyValueConfig::validate_keys(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& kv : kv_) {
+    if (std::find(known.begin(), known.end(), kv.first) != known.end()) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "'" + kv.first + "'";
+  }
+  if (!unknown.empty())
+    throw std::runtime_error("KeyValueConfig: unknown key(s) " + unknown);
+}
+
 const std::string* KeyValueConfig::find(const std::string& key) const {
-  // Last occurrence wins.
-  for (auto it = kv_.rbegin(); it != kv_.rend(); ++it)
-    if (it->first == key) return &it->second;
+  for (const auto& kv : kv_)
+    if (kv.first == key) return &kv.second;
   return nullptr;
 }
 

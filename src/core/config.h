@@ -31,20 +31,30 @@ struct RuntimeConfig {
 };
 
 /// Minimal `key = value` config-file reader: one pair per line, '#' starts a
-/// comment, whitespace around keys and values is trimmed, later keys
-/// override earlier ones. Values parse on access: the caller default covers
-/// absent or empty keys, while a present value that does not fully parse
-/// throws (a typo must not silently reshape an experiment). Drives the
-/// fault-campaign CLI (faultsim keys like `stuck.rates`, `drift.times`,
-/// `thermal.temps`; see faultsim::campaign_from_config).
+/// comment, whitespace around keys and values is trimmed. The parser fails
+/// loudly on anything that would silently reshape an experiment: a non-blank
+/// line without '=', a key that appears twice, and a config with no pairs at
+/// all (e.g. an empty file) each throw std::runtime_error. Programmatic
+/// overrides (a CLI flag beating a file value) go through set(). Values
+/// parse on access: the caller default covers absent or empty keys, while a
+/// present value that does not fully parse throws. Drives the fault-campaign
+/// CLI (faultsim keys like `stuck.rates`, `drift.times`, `thermal.temps`;
+/// see faultsim::campaign_from_config).
 class KeyValueConfig {
  public:
   KeyValueConfig() = default;
-  /// Throws std::runtime_error when the file cannot be opened.
+  /// Throws std::runtime_error when the file cannot be opened or parsed.
   static KeyValueConfig from_file(const std::string& path);
   static KeyValueConfig from_string(const std::string& text);
 
   bool has(const std::string& key) const { return find(key) != nullptr; }
+  /// Sets or replaces a key: the override layer on top of a parsed file.
+  void set(const std::string& key, const std::string& value);
+  /// Throws std::runtime_error naming every key not in `known` — consumers
+  /// declare their key set so an unknown (typo'd) key cannot be silently
+  /// ignored.
+  void validate_keys(const std::vector<std::string>& known) const;
+
   std::string str(const std::string& key, const std::string& def = "") const;
   int64_t integer(const std::string& key, int64_t def) const;
   double number(const std::string& key, double def) const;

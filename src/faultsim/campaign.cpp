@@ -41,11 +41,26 @@ int64_t CampaignReport::total_catastrophic() const {
   return n;
 }
 
+int64_t CampaignReport::total_absorbed() const {
+  int64_t n = 0;
+  for (const ScenarioResult& s : scenarios)
+    if (s.remapped) n += s.absorbed;
+  return n;
+}
+
 std::vector<const ScenarioResult*> CampaignReport::for_model(
     const std::string& name) const {
   std::vector<const ScenarioResult*> out;
   for (const ScenarioResult& s : scenarios)
     if (s.model_name == name) out.push_back(&s);
+  return out;
+}
+
+std::vector<const ScenarioResult*> CampaignReport::for_model(
+    const std::string& name, bool remapped) const {
+  std::vector<const ScenarioResult*> out;
+  for (const ScenarioResult& s : scenarios)
+    if (s.model_name == name && s.remapped == remapped) out.push_back(&s);
   return out;
 }
 
@@ -60,6 +75,18 @@ double CampaignReport::mean_accuracy(const std::string& model_name) const {
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
+double CampaignReport::mean_accuracy(const std::string& model_name,
+                                     bool remapped) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const ScenarioResult& s : scenarios) {
+    if (s.model_name != model_name || s.remapped != remapped) continue;
+    sum += s.acc.mean;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
 std::string CampaignReport::to_json() const {
   std::string j = "{\n";
   j += "  \"name\": \"faultsim_campaign\",\n";
@@ -67,6 +94,7 @@ std::string CampaignReport::to_json() const {
   j += "  \"seed\": " + std::to_string(seed) + ",\n";
   j += "  \"catastrophic_below\": " + json_num(catastrophic_below) + ",\n";
   j += "  \"total_catastrophic\": " + std::to_string(total_catastrophic()) + ",\n";
+  j += "  \"total_absorbed\": " + std::to_string(total_absorbed()) + ",\n";
   j += "  \"wall_s\": " + json_num(wall_s) + ",\n";
   j += "  \"scenarios\": [\n";
   for (size_t i = 0; i < scenarios.size(); ++i) {
@@ -75,6 +103,12 @@ std::string CampaignReport::to_json() const {
     j += ", \"severity\": " + json_num(s.severity);
     j += ", \"model\": \"" + json_escaped(s.model_name) + "\"";
     j += std::string(", \"compensation\": ") + (s.compensation ? "true" : "false");
+    j += std::string(", \"remap\": ") + (s.remapped ? "true" : "false");
+    if (s.remapped) {
+      j += ", \"defects\": " + std::to_string(s.defects);
+      j += ", \"absorbed\": " + std::to_string(s.absorbed);
+      j += ", \"residual\": " + std::to_string(s.residual);
+    }
     j += ", \"mean\": " + json_num(s.acc.mean);
     j += ", \"stddev\": " + json_num(s.acc.stddev);
     j += ", \"min\": " + json_num(s.acc.min);
@@ -102,6 +136,13 @@ void CampaignReport::write_json(const std::string& path) const {
 Campaign::Campaign(CampaignOptions opts) : opts_(opts) {
   if (opts_.chips < 1)
     throw std::invalid_argument("Campaign: need at least one chip per scenario");
+  // An enabled remap axis with every repair move switched off would double
+  // the grid with bit-identical no-op rows — the silent-misconfiguration
+  // class the config hardening exists to stop.
+  if (opts_.remap.enabled && !opts_.remap.active())
+    throw std::invalid_argument(
+        "Campaign: remap axis enabled but no repair moves configured "
+        "(spare budget 0 and pair_swap off)");
 }
 
 void Campaign::add_model(const std::string& name, const nn::Sequential& model,
@@ -146,28 +187,45 @@ CampaignReport Campaign::run(const data::Dataset& test) {
     const uint64_t scenario_seed =
         mix64(opts_.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(fi) + 1)));
     const analog::FaultList list = spec.list();
+    // Remap axis: off first, then on, under the *same* scenario seed — the
+    // pair realizes identical defect maps, so any accuracy gap is the
+    // controller's doing (matched pairs, like the compensation variants).
+    const int remap_variants = opts_.remap.enabled ? 2 : 1;
     for (const ModelEntry& me : models_) {
-      if (log)
-        log("scenario " + spec.kind + "@" + json_num(spec.severity) + " x " +
-            me.name);
-      runtime::ChipFarmOptions fo;
-      fo.instances = opts_.chips;
-      fo.seed = scenario_seed;
-      fo.max_live = opts_.max_live;
-      fo.tile = opts_.tile;
-      runtime::ChipFarm farm(*me.model, opts_.dev, fo, list);
-      runtime::McEngineOptions eo;
-      eo.batch_size = opts_.batch_size;
-      eo.threads = opts_.threads;
-      ScenarioResult res;
-      res.fault_kind = spec.kind;
-      res.severity = spec.severity;
-      res.model_name = me.name;
-      res.compensation = me.compensation;
-      res.acc = runtime::McEngine(farm, eo).accuracy(test);
-      for (double a : res.acc.samples)
-        if (a < opts_.catastrophic_below) ++res.catastrophic;
-      report.scenarios.push_back(std::move(res));
+      for (int rv = 0; rv < remap_variants; ++rv) {
+        const bool remap_on = rv == 1;
+        if (log)
+          log("scenario " + spec.kind + "@" + json_num(spec.severity) + " x " +
+              me.name + (opts_.remap.enabled ? (remap_on ? " x remap" : " x no-remap") : ""));
+        runtime::ChipFarmOptions fo;
+        fo.instances = opts_.chips;
+        fo.seed = scenario_seed;
+        fo.max_live = opts_.max_live;
+        fo.tile = opts_.tile;
+        if (remap_on) fo.remap = opts_.remap;
+        runtime::ChipFarm farm(*me.model, opts_.dev, fo, list);
+        runtime::McEngineOptions eo;
+        eo.batch_size = opts_.batch_size;
+        eo.threads = opts_.threads;
+        ScenarioResult res;
+        res.fault_kind = spec.kind;
+        res.severity = spec.severity;
+        res.model_name = me.name;
+        res.compensation = me.compensation;
+        res.remapped = remap_on;
+        res.acc = runtime::McEngine(farm, eo).accuracy(test);
+        for (double a : res.acc.samples)
+          if (a < opts_.catastrophic_below) ++res.catastrophic;
+        if (remap_on) {
+          for (int64_t s = 0; s < opts_.chips; ++s) {
+            const remap::RemapStats st = farm.chip_remap_stats(s);
+            res.defects += st.defects;
+            res.absorbed += st.absorbed();
+            res.residual += st.residual;
+          }
+        }
+        report.scenarios.push_back(std::move(res));
+      }
     }
   }
   report.wall_s =
@@ -176,6 +234,14 @@ CampaignReport Campaign::run(const data::Dataset& test) {
 }
 
 Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
+  // A typo'd key must fail loudly, not silently drop a scenario axis.
+  cfg.validate_keys({
+      "chips", "seed", "batch", "catastrophic", "tile", "control",
+      "program_sigma", "read_sigma", "adc_bits", "dac_bits", "levels",
+      "stuck.rates", "stuck.high_fraction", "drift.times", "drift.nu",
+      "drift.nu_sigma", "ir.alphas", "thermal.temps", "thermal.t0",
+      "remap", "remap.spare_rows", "remap.spare_cols", "remap.pair_swap",
+  });
   CampaignOptions opts;
   opts.chips = cfg.integer("chips", opts.chips);
   opts.seed = static_cast<uint64_t>(cfg.integer("seed", static_cast<int64_t>(opts.seed)));
@@ -187,6 +253,10 @@ Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
   opts.dev.readout.adc_bits = static_cast<int>(cfg.integer("adc_bits", 0));
   opts.dev.readout.dac_bits = static_cast<int>(cfg.integer("dac_bits", 0));
   opts.dev.conductance_levels = static_cast<int>(cfg.integer("levels", 0));
+  opts.remap.enabled = cfg.integer("remap", 0) != 0;
+  opts.remap.spare_rows = cfg.integer("remap.spare_rows", opts.remap.spare_rows);
+  opts.remap.spare_cols = cfg.integer("remap.spare_cols", opts.remap.spare_cols);
+  opts.remap.pair_swap = cfg.integer("remap.pair_swap", 1) != 0;
 
   Campaign c(opts);
   if (cfg.integer("control", 1) != 0) c.add_fault(fault_free());

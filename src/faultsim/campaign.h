@@ -37,6 +37,11 @@ struct CampaignOptions {
   int threads = 0;            // McEngine threads; 1 forces the serial path
   double catastrophic_below = 0.2;  // accuracy counted as catastrophic failure
   analog::RramDeviceParams dev;     // baseline device every scenario starts from
+  // Fault-aware remapping protection axis: when `remap.enabled`, every
+  // (fault, model) cell runs twice — remap off, then remap on with these
+  // params — under the same per-scenario chip seeds, so the pair sees
+  // identical defect maps (a matched-pairs experiment, like compensation).
+  remap::RemapParams remap;
 };
 
 /// One grid cell's outcome.
@@ -45,8 +50,14 @@ struct ScenarioResult {
   double severity = 0.0;
   std::string model_name;     // protection variant ("baseline", "corrected", ...)
   bool compensation = false;  // variant has error compensation on
+  bool remapped = false;      // fault-aware remapping was on for this cell
   core::McResult acc;         // mean/std/min/max + per-chip samples
   int64_t catastrophic = 0;   // chips with accuracy < catastrophic_below
+  // Repair accounting summed over the scenario's chips (remap-on rows only;
+  // the matching remap-off row realizes the same `defects` by construction).
+  int64_t defects = 0;        // defective devices injected
+  int64_t absorbed = 0;       // repaired by pair swap or spare lines
+  int64_t residual = 0;       // left in the programmed arrays
 };
 
 struct CampaignReport {
@@ -57,11 +68,19 @@ struct CampaignReport {
   std::vector<ScenarioResult> scenarios;
 
   int64_t total_catastrophic() const;
-  /// Scenarios of one protection variant, grid order preserved.
+  /// Defective devices absorbed by remapping, summed over remap-on rows.
+  int64_t total_absorbed() const;
+  /// Scenarios of one protection variant, grid order preserved (both remap
+  /// variants when the remap axis is on).
   std::vector<const ScenarioResult*> for_model(const std::string& name) const;
+  /// One remap variant of one protection variant, grid order preserved.
+  std::vector<const ScenarioResult*> for_model(const std::string& name,
+                                               bool remapped) const;
   /// Mean accuracy over every scenario of one variant (the headline
   /// robustness number the compensation-on/off comparison reads).
   double mean_accuracy(const std::string& model_name) const;
+  /// Mean accuracy of one remap variant of one protection variant.
+  double mean_accuracy(const std::string& model_name, bool remapped) const;
 
   /// JSON in the BENCH_*.json shape (ordered keys, %.6g numbers): campaign
   /// metadata at the top level plus a "scenarios" array.
@@ -87,8 +106,12 @@ class Campaign {
 
   int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
   int64_t num_faults() const { return static_cast<int64_t>(faults_.size()); }
-  /// Grid size = fault specs x protection variants.
-  int64_t num_scenarios() const { return num_models() * num_faults(); }
+  /// Whether the remap-on/off protection axis is part of the grid.
+  bool remap_enabled() const { return opts_.remap.enabled; }
+  /// Grid size = fault specs x protection variants x remap variants.
+  int64_t num_scenarios() const {
+    return num_models() * num_faults() * (opts_.remap.enabled ? 2 : 1);
+  }
 
   /// Progress hook (scenario label), printed by the CLI/bench frontends.
   std::function<void(const std::string&)> log;
@@ -117,7 +140,11 @@ class Campaign {
 ///   drift.times = 10,1000    — drift t/t0 grid (drift.nu, drift.nu_sigma)
 ///   ir.alphas = 0.05,0.1     — IR-drop attenuation grid
 ///   thermal.temps = 350,400  — temperature grid (thermal.t0)
-/// Models are registered by the caller, not the config.
+///   remap = 0|1              — fault-aware remapping protection axis
+///     (remap.spare_rows / remap.spare_cols — per-tile spare budget,
+///      remap.pair_swap = 0|1 — differential-pair partner re-programming)
+/// Unknown keys throw (validate_keys): a typo must not silently drop a
+/// scenario axis. Models are registered by the caller, not the config.
 Campaign campaign_from_config(const core::KeyValueConfig& cfg);
 
 }  // namespace cn::faultsim

@@ -7,15 +7,28 @@ namespace cn::faultsim {
 
 void StuckAtFault::apply(float* g_pos, float* g_neg, const TileCtx& ctx,
                          const analog::RramDeviceParams& dev, Rng& rng) const {
+  apply_mapped(g_pos, g_neg, ctx, dev, rng, nullptr);
+}
+
+void StuckAtFault::apply_mapped(float* g_pos, float* g_neg, const TileCtx& ctx,
+                                const analog::RramDeviceParams& dev, Rng& rng,
+                                remap::DefectMap* defects) const {
   if (rate_low <= 0.0 && rate_high <= 0.0) return;
   const double p_any = rate_low + rate_high;
   const int64_t n = ctx.rows * ctx.cols;
-  // One uniform per physical cell; G+ and G- fail independently.
-  for (float* g : {g_pos, g_neg}) {
+  // One uniform per physical cell; G+ and G- fail independently. The draw
+  // sequence is identical with and without defect recording (matched-pair
+  // remap-on/off chips must realize the same defect maps).
+  for (int pol = 0; pol < 2; ++pol) {
+    float* g = pol == 0 ? g_pos : g_neg;
     for (int64_t i = 0; i < n; ++i) {
       const double u = rng.uniform();
-      if (u < rate_low) g[i] = dev.g_min;
-      else if (u < p_any) g[i] = dev.g_max;
+      float stuck;
+      if (u < rate_low) stuck = dev.g_min;
+      else if (u < p_any) stuck = dev.g_max;
+      else continue;
+      g[i] = stuck;
+      if (defects) defects->push_back({i, pol == 1, stuck});
     }
   }
 }

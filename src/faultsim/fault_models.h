@@ -24,6 +24,11 @@ namespace cn::faultsim {
 /// independent devices) is stuck at G_min with probability rate_low and at
 /// G_max with probability rate_high — the classic SA0/SA1 defect map,
 /// Bernoulli per cell with deterministic per-chip seeds.
+///
+/// The defect map is known at program time (wafer test / program-verify),
+/// so apply_mapped reports every stuck device to the fault-aware remapping
+/// controller; apply() is the same transform with the report discarded —
+/// both draw one uniform per physical device in the same order.
 struct StuckAtFault final : public analog::FaultModel {
   double rate_low = 0.0;   // P(cell stuck at g_min)
   double rate_high = 0.0;  // P(cell stuck at g_max)
@@ -33,6 +38,10 @@ struct StuckAtFault final : public analog::FaultModel {
 
   void apply(float* g_pos, float* g_neg, const TileCtx& ctx,
              const analog::RramDeviceParams& dev, Rng& rng) const override;
+  void apply_mapped(float* g_pos, float* g_neg, const TileCtx& ctx,
+                    const analog::RramDeviceParams& dev, Rng& rng,
+                    remap::DefectMap* defects) const override;
+  bool has_defect_map() const override { return true; }
   std::string name() const override { return "stuck_at"; }
 };
 

@@ -1,0 +1,164 @@
+#include "remap/remap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cn::remap {
+
+namespace {
+
+// Working view of one defect while planning: target and actual difference
+// contributions of its cell, in conductance units (the weight scale is one
+// common factor per array, so ranking by conductance error ranks by weight
+// error too).
+struct Work {
+  size_t fix_index;     // into RemapPlan::fixes
+  int64_t row, col;
+  double error;         // |d_actual - d_target| this device leaves behind
+  bool repaired = false;
+};
+
+}  // namespace
+
+RemapPlan RemapController::plan(const DefectMap& defects, int64_t rows,
+                                int64_t cols, const float* g_pos_pre,
+                                const float* g_neg_pre, float g_min,
+                                float g_max) const {
+  RemapPlan out;
+  if (defects.empty()) return out;
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("RemapController: empty tile");
+
+  out.fixes.reserve(defects.size());
+  const int64_t n = rows * cols;
+
+  // Which devices are defective (a swap partner must be healthy). Two
+  // passes: mark, then classify — the defect map order is preserved in
+  // `fixes` so plans are reproducible for identical maps.
+  std::vector<uint8_t> stuck_pos(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> stuck_neg(static_cast<size_t>(n), 0);
+  for (const DefectCell& d : defects) {
+    if (d.index < 0 || d.index >= n)
+      throw std::out_of_range("RemapController: defect outside tile");
+    (d.neg ? stuck_neg : stuck_pos)[static_cast<size_t>(d.index)] = 1;
+  }
+
+  std::vector<Work> residual;
+  for (const DefectCell& d : defects) {
+    PlannedFix fix;
+    fix.cell = d;
+    const size_t i = static_cast<size_t>(d.index);
+    const float target = d.neg ? g_neg_pre[i] : g_pos_pre[i];
+    // The error this device alone injects into the pair difference.
+    const double err = std::abs(static_cast<double>(d.stuck_g) - target);
+    if (d.stuck_g == target) {
+      fix.fix = Fix::kBenign;
+    } else if (params_.pair_swap &&
+               !(d.neg ? stuck_pos : stuck_neg)[i]) {
+      // Partner healthy: restore the pair difference by moving the error
+      // onto the partner. G+ stuck: G-' = G-_target + (stuck - G+_target);
+      // G- stuck: G+' = G+_target + (stuck - G-_target). Feasible when the
+      // new partner conductance is still physical.
+      const float partner_target = d.neg ? g_pos_pre[i] : g_neg_pre[i];
+      const float shift = d.stuck_g - target;
+      const float partner_new = partner_target + shift;
+      if (partner_new >= g_min && partner_new <= g_max) {
+        fix.fix = Fix::kPairSwap;
+        fix.partner_g = partner_new;
+      }
+    }
+    if (fix.fix == Fix::kResidual) {
+      Work w;
+      w.fix_index = out.fixes.size();
+      w.row = d.index / cols;
+      w.col = d.index % cols;
+      w.error = err;
+      residual.push_back(w);
+    }
+    out.fixes.push_back(fix);
+  }
+  if (residual.empty()) return out;
+
+  // Cost-ranked greedy spare assignment: rows and columns compete for the
+  // repair that removes the most residual error; spending a line repairs
+  // every residual defect on it, so both tallies shrink as lines go.
+  std::vector<double> row_cost(static_cast<size_t>(rows), 0.0);
+  std::vector<double> col_cost(static_cast<size_t>(cols), 0.0);
+  for (const Work& w : residual) {
+    row_cost[static_cast<size_t>(w.row)] += w.error;
+    col_cost[static_cast<size_t>(w.col)] += w.error;
+  }
+  int64_t rows_left = std::max<int64_t>(0, params_.spare_rows);
+  int64_t cols_left = std::max<int64_t>(0, params_.spare_cols);
+  auto best = [](const std::vector<double>& cost) {
+    int64_t arg = -1;
+    double top = 0.0;
+    for (size_t i = 0; i < cost.size(); ++i)
+      if (cost[i] > top) {  // strict: lowest index wins ties, zero never picked
+        top = cost[i];
+        arg = static_cast<int64_t>(i);
+      }
+    return std::make_pair(arg, top);
+  };
+  while (rows_left > 0 || cols_left > 0) {
+    const auto [r, rcost] = rows_left > 0 ? best(row_cost) : std::make_pair(int64_t{-1}, 0.0);
+    const auto [c, ccost] = cols_left > 0 ? best(col_cost) : std::make_pair(int64_t{-1}, 0.0);
+    if (r < 0 && c < 0) break;  // no residual error left to repair
+    const bool take_row = r >= 0 && (c < 0 || rcost >= ccost);
+    for (Work& w : residual) {
+      if (w.repaired || (take_row ? w.row != r : w.col != c)) continue;
+      w.repaired = true;
+      out.fixes[w.fix_index].fix = take_row ? Fix::kSpareRow : Fix::kSpareCol;
+      row_cost[static_cast<size_t>(w.row)] -= w.error;
+      col_cost[static_cast<size_t>(w.col)] -= w.error;
+    }
+    // Kill rounding residue so the spent line can't be picked again.
+    if (take_row) {
+      row_cost[static_cast<size_t>(r)] = 0.0;
+      out.spare_row_lines.push_back(r);
+      --rows_left;
+    } else {
+      col_cost[static_cast<size_t>(c)] = 0.0;
+      out.spare_col_lines.push_back(c);
+      --cols_left;
+    }
+  }
+  return out;
+}
+
+RemapStats RemapController::apply(const RemapPlan& plan, float* g_pos,
+                                  float* g_neg, const float* g_pos_pre,
+                                  const float* g_neg_pre) const {
+  RemapStats st;
+  st.defects = static_cast<int64_t>(plan.fixes.size());
+  st.spare_rows_used = static_cast<int64_t>(plan.spare_row_lines.size());
+  st.spare_cols_used = static_cast<int64_t>(plan.spare_col_lines.size());
+  for (const PlannedFix& f : plan.fixes) {
+    const size_t i = static_cast<size_t>(f.cell.index);
+    switch (f.fix) {
+      case Fix::kBenign:
+        ++st.benign;
+        break;
+      case Fix::kPairSwap:
+        // The stuck device keeps its stuck value; the healthy partner takes
+        // the compensating conductance.
+        (f.cell.neg ? g_pos : g_neg)[i] = f.partner_g;
+        ++st.swapped;
+        break;
+      case Fix::kSpareRow:
+      case Fix::kSpareCol:
+        // The line now lives on a healthy spare programmed with the same
+        // targets: the defective device reads back its pre-fault value.
+        (f.cell.neg ? g_neg : g_pos)[i] = (f.cell.neg ? g_neg_pre : g_pos_pre)[i];
+        ++st.spared;
+        break;
+      case Fix::kResidual:
+        ++st.residual;
+        break;
+    }
+  }
+  return st;
+}
+
+}  // namespace cn::remap

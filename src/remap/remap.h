@@ -1,0 +1,147 @@
+// Fault-aware remapping controller (ROADMAP: "StuckAtFault knows the defect
+// map at program time; a real controller would remap or re-program around
+// stuck cells").
+//
+// RRAM macros ship with spare wordlines/bitlines and program-verify loops;
+// when the defect map of a tile is known before programming, a mapping
+// controller absorbs hard defects instead of writing weights onto dead
+// devices. This module implements the two standard repair moves on top of
+// the differential-pair crossbar model:
+//
+//  * differential-pair swap — a weight w = s·(G⁺ − G⁻) only fixes the
+//    *difference* of the pair. If one device is stuck, the healthy partner
+//    can often be re-programmed to restore the exact target difference
+//    (e.g. G⁺ stuck at g_max, w recovered via G⁻ = g_max − w/s). Feasible
+//    whenever the required partner conductance stays inside [g_min, g_max]
+//    and the partner itself is healthy; costs no spare resources.
+//  * spare-line redundancy — defects no swap can fix are ranked by the
+//    conductance error they leave behind, and whole tile rows/columns are
+//    greedily routed to spare lines (budget `spare_rows`/`spare_cols` per
+//    tile, worst line first). A logical line routed to a healthy spare
+//    carries exactly the values the defective line was programmed with, so
+//    the repair is modeled as restoring the line's defective cells to their
+//    pre-fault conductances — output-equivalent to physically adding the
+//    spare line (an unused spare pair contributes G⁺ = G⁻ = g_min, i.e. a
+//    bitwise-zero differential current), while keeping the array shape and
+//    the programming-rng stream identical to an unremapped chip.
+//
+// Everything here is a deterministic, rng-free function of the defect map
+// and the pre-fault conductances: remapped chips stay pure functions of
+// their chip seed, `matmul == matvec` bit-exactness is untouched (the plan
+// is applied before the batched double-precision copies are built), and a
+// zero-defect map yields an empty plan without a single rng draw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cn::remap {
+
+/// One hard-defective physical device inside a tile, discovered at program
+/// time: `index` is the row-major cell index of the differential pair, `neg`
+/// selects the G⁻ device, `stuck_g` is the conductance the device is pinned
+/// at. Produced by fault models that know their defect map (StuckAtFault via
+/// analog::FaultModel::apply_mapped).
+struct DefectCell {
+  int64_t index = 0;
+  bool neg = false;
+  float stuck_g = 0.0f;
+};
+using DefectMap = std::vector<DefectCell>;
+
+/// Remapping knobs, plumbed from campaign/CLI config down to every tile.
+struct RemapParams {
+  bool enabled = false;    // master switch (the campaign's protection axis)
+  int64_t spare_rows = 2;  // spare wordlines per tile
+  int64_t spare_cols = 2;  // spare bitlines per tile
+  bool pair_swap = true;   // allow differential-pair partner re-programming
+
+  bool active() const {
+    return enabled && (spare_rows > 0 || spare_cols > 0 || pair_swap);
+  }
+};
+
+/// How the controller disposed of one defective device.
+enum class Fix : uint8_t {
+  kBenign = 0,    // stuck value equals the programmed target: no error
+  kPairSwap = 1,  // partner device re-programmed to restore the difference
+  kSpareRow = 2,  // cell's wordline routed to a spare row
+  kSpareCol = 3,  // cell's bitline routed to a spare column
+  kResidual = 4,  // unrepaired: defect stays in the programmed array
+};
+
+/// One planned disposition, defect-map order.
+struct PlannedFix {
+  DefectCell cell;
+  Fix fix = Fix::kResidual;
+  float partner_g = 0.0f;  // kPairSwap: new conductance of the partner device
+};
+
+/// The per-tile repair plan: pure data, applied by RemapController::apply.
+struct RemapPlan {
+  std::vector<PlannedFix> fixes;
+  std::vector<int64_t> spare_row_lines;  // tile rows routed to spares
+  std::vector<int64_t> spare_col_lines;  // tile cols routed to spares
+  bool empty() const { return fixes.empty(); }
+};
+
+/// Repair accounting, summable across tiles/arrays/chips (CampaignReport's
+/// absorbed-defect counts). `defects` counts defective physical devices;
+/// every defect lands in exactly one of benign/swapped/spared/residual.
+struct RemapStats {
+  int64_t defects = 0;
+  int64_t benign = 0;    // no error to begin with
+  int64_t swapped = 0;   // absorbed by differential-pair swap
+  int64_t spared = 0;    // absorbed by spare-line redundancy
+  int64_t residual = 0;  // left in the array
+  int64_t spare_rows_used = 0;
+  int64_t spare_cols_used = 0;
+
+  /// Defects the controller actively repaired (the headline number).
+  int64_t absorbed() const { return swapped + spared; }
+
+  RemapStats& operator+=(const RemapStats& o) {
+    defects += o.defects;
+    benign += o.benign;
+    swapped += o.swapped;
+    spared += o.spared;
+    residual += o.residual;
+    spare_rows_used += o.spare_rows_used;
+    spare_cols_used += o.spare_cols_used;
+    return *this;
+  }
+};
+
+/// Plans and applies defect repairs for one tile. Stateless beyond its
+/// params; both methods are deterministic and draw no randomness.
+class RemapController {
+ public:
+  explicit RemapController(const RemapParams& params) : params_(params) {}
+
+  /// Builds the repair plan for one (rows x cols) tile. `g_pos_pre` /
+  /// `g_neg_pre` are the conductances *before* the defect-reporting model
+  /// ran (the targets a repair restores — including any nonidealities
+  /// applied earlier in the fault list); defect entries carry the stuck
+  /// values.
+  /// Phases: classify benign -> differential-pair swap -> cost-ranked greedy
+  /// spare-line assignment (line cost = summed |difference error| of its
+  /// unrepaired defects; worst line first, rows and columns competing;
+  /// deterministic lowest-index tie-break).
+  RemapPlan plan(const DefectMap& defects, int64_t rows, int64_t cols,
+                 const float* g_pos_pre, const float* g_neg_pre, float g_min,
+                 float g_max) const;
+
+  /// Applies a plan to the post-fault conductances in place and returns the
+  /// accounting. Swap fixes write the partner device; spare-line fixes
+  /// restore the defective device to its pre-fault value (see file comment
+  /// for why that is output-equivalent to a physical spare line).
+  RemapStats apply(const RemapPlan& plan, float* g_pos, float* g_neg,
+                   const float* g_pos_pre, const float* g_neg_pre) const;
+
+  const RemapParams& params() const { return params_; }
+
+ private:
+  RemapParams params_;
+};
+
+}  // namespace cn::remap

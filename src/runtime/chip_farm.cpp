@@ -10,6 +10,9 @@ namespace cn::runtime {
 ChipFarm::ChipFarm(const nn::Sequential& base, const analog::VariationModel& vm,
                    const ChipFarmOptions& opts)
     : base_(base.clone_model()), vm_(vm), crossbar_(false), opts_(opts) {
+  if (opts.remap.enabled)
+    throw std::invalid_argument(
+        "ChipFarm: remapping needs crossbar mode (factor chips have no tiles)");
   init_slots();
 }
 
@@ -35,6 +38,10 @@ void ChipFarm::init_slots() {
                              std::max<int64_t>(1, ThreadPool::global().size()));
   live = std::min(live, opts_.instances);
   slots_.resize(static_cast<size_t>(live));
+  if (crossbar_ && opts_.remap.active()) {
+    remap_stats_.resize(static_cast<size_t>(opts_.instances));
+    remap_stats_known_.assign(static_cast<size_t>(opts_.instances), 0);
+  }
 }
 
 uint64_t ChipFarm::chip_seed(int64_t s) const {
@@ -66,14 +73,27 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
   Slot& sl = slots_[static_cast<size_t>(slot)];
   Rng rng(chip_seed(s));
   if (crossbar_) {
+    const bool remapping = opts_.remap.active();
     sl.model = std::make_unique<nn::Sequential>(analog::program_to_crossbars(
         base_, dev_, rng, opts_.tile, faults_.empty() ? nullptr : &faults_,
-        opts_.first_site));
+        opts_.first_site, remapping ? &opts_.remap : nullptr));
     analog::set_read_seeds(*sl.model, read_seed(s));
+    if (remapping) {
+      remap_stats_[static_cast<size_t>(s)] = analog::collect_remap_stats(*sl.model);
+      remap_stats_known_[static_cast<size_t>(s)] = 1;
+    }
     return;
   }
   if (!sl.model) sl.model = std::make_unique<nn::Sequential>(base_.clone_model());
   analog::perturb_from(*sl.model, vm_, rng, opts_.first_site);
+}
+
+remap::RemapStats ChipFarm::chip_remap_stats(int64_t s) {
+  if (s < 0 || s >= opts_.instances)
+    throw std::out_of_range("ChipFarm::chip_remap_stats: bad chip index");
+  if (remap_stats_.empty()) return {};
+  if (!remap_stats_known_[static_cast<size_t>(s)]) chip(s);
+  return remap_stats_[static_cast<size_t>(s)];
 }
 
 void ChipFarm::reconfigure(uint64_t seed, int64_t first_site) {
@@ -83,6 +103,8 @@ void ChipFarm::reconfigure(uint64_t seed, int64_t first_site) {
   opts_.seed = seed;
   opts_.first_site = first_site;
   for (Slot& sl : slots_) sl.sample = -1;
+  if (!remap_stats_known_.empty())
+    std::fill(remap_stats_known_.begin(), remap_stats_known_.end(), uint8_t{0});
 }
 
 }  // namespace cn::runtime

@@ -41,6 +41,7 @@ struct ChipFarmOptions {
   int64_t first_site = 0;  // injection start: factor sites, or fault sites
                            // when a crossbar farm carries a fault list
   int64_t tile = 128;      // crossbar mode: tile edge length
+  remap::RemapParams remap;  // crossbar mode: fault-aware remapping (default off)
 };
 
 class ChipFarm {
@@ -79,6 +80,13 @@ class ChipFarm {
   /// list (fault-injection start); factor sites exist only in factor mode.
   void reconfigure(uint64_t seed, int64_t first_site = 0);
 
+  /// Remap repair accounting of logical chip s (all-zero unless the farm is
+  /// a crossbar farm with opts.remap enabled and chip s had defects). Cached
+  /// when the chip is materialized — chips are pure functions of their seed,
+  /// so the stats never change until reconfigure(); cold chips are
+  /// materialized on demand.
+  remap::RemapStats chip_remap_stats(int64_t s);
+
   /// The clean base model the chips were derived from.
   const nn::Sequential& base() const { return base_; }
 
@@ -99,6 +107,11 @@ class ChipFarm {
     int64_t sample = -1;  // logical chip currently materialized, -1 = none
   };
   std::vector<Slot> slots_;
+  // Per-logical-chip remap accounting, filled at populate() time (concurrent
+  // populates touch distinct elements; uint8_t, not vector<bool>, so the
+  // flag writes don't share words).
+  std::vector<remap::RemapStats> remap_stats_;
+  std::vector<uint8_t> remap_stats_known_;
 };
 
 }  // namespace cn::runtime

@@ -33,18 +33,18 @@ TEST(RuntimeConfig, EpochScalingNeverBelowOne) {
   EXPECT_EQ(c.epochs(5), 3);  // rounds to nearest
 }
 
-TEST(KeyValueConfig, ParsesCommentsWhitespaceAndOverrides) {
+TEST(KeyValueConfig, ParsesCommentsWhitespaceAndEmptyValues) {
   const KeyValueConfig cfg = KeyValueConfig::from_string(
       "# a comment line\n"
       "  chips = 8   # trailing comment\n"
       "name= lenet \n"
       "rate=0.5\n"
       "list = 1, 2.5 ,3\n"
-      "chips = 12\n"
       "empty =\n"
-      "not a pair\n");
+      "\n"
+      "   \t\n");
   EXPECT_TRUE(cfg.has("chips"));
-  EXPECT_EQ(cfg.integer("chips", -1), 12);  // later key wins
+  EXPECT_EQ(cfg.integer("chips", -1), 8);
   EXPECT_EQ(cfg.str("name", "x"), "lenet");
   EXPECT_DOUBLE_EQ(cfg.number("rate", 0.0), 0.5);
   const std::vector<double> list = cfg.numbers("list");
@@ -56,6 +56,45 @@ TEST(KeyValueConfig, ParsesCommentsWhitespaceAndOverrides) {
   EXPECT_FALSE(cfg.has("missing"));
   EXPECT_TRUE(cfg.numbers("missing").empty());
   EXPECT_EQ(cfg.numbers("missing", {7.0}).size(), 1u);
+}
+
+TEST(KeyValueConfig, SetOverridesOrAppends) {
+  // The override layer the CLI flags use now that duplicate keys throw.
+  KeyValueConfig cfg = KeyValueConfig::from_string("chips = 8\n");
+  cfg.set("chips", "12");
+  EXPECT_EQ(cfg.integer("chips", -1), 12);
+  cfg.set("remap", "1");
+  EXPECT_EQ(cfg.integer("remap", 0), 1);
+}
+
+TEST(KeyValueConfig, DuplicateKeyThrows) {
+  // Two values for one knob must not silently race; overrides go via set().
+  EXPECT_THROW(KeyValueConfig::from_string("chips = 8\nchips = 12\n"),
+               std::runtime_error);
+}
+
+TEST(KeyValueConfig, MalformedLineThrows) {
+  // 'chips 8' silently ignored would run the default chip count.
+  EXPECT_THROW(KeyValueConfig::from_string("chips 8\n"), std::runtime_error);
+  EXPECT_THROW(KeyValueConfig::from_string("chips = 8\nnot a pair\n"),
+               std::runtime_error);
+  // '= value' has no key.
+  EXPECT_THROW(KeyValueConfig::from_string("= 3\n"), std::runtime_error);
+}
+
+TEST(KeyValueConfig, EmptyConfigThrows) {
+  // A config with no pairs at all (empty file, or only comments) is a
+  // mistake, not an empty campaign.
+  EXPECT_THROW(KeyValueConfig::from_string(""), std::runtime_error);
+  EXPECT_THROW(KeyValueConfig::from_string("# only comments\n\n"),
+               std::runtime_error);
+}
+
+TEST(KeyValueConfig, UnknownKeysFailValidation) {
+  const KeyValueConfig cfg =
+      KeyValueConfig::from_string("chips = 8\nstuck.ratez = 0.1\n");
+  EXPECT_THROW(cfg.validate_keys({"chips", "stuck.rates"}), std::runtime_error);
+  EXPECT_NO_THROW(cfg.validate_keys({"chips", "stuck.ratez"}));
 }
 
 TEST(KeyValueConfig, UnparsableListCellThrows) {

@@ -119,6 +119,68 @@ TEST(CrossbarExec, EveryFaultModelKeepsBatchedAndMatvecBitIdentical) {
   run(combined, full, 240);
 }
 
+TEST(CrossbarExec, ForcedSimdDispatchLevelsAreBitIdentical) {
+  // The runtime dispatcher normally picks the widest ISA the host supports,
+  // so parity was only ever proven for that one level. Pin dispatch to every
+  // supported level on the same inputs: each must reproduce the per-column
+  // matvec loop bit for bit (fp-contract stays off in the SIMD variants, so
+  // there is no FMA to round differently).
+  struct DispatchGuard {
+    ~DispatchGuard() { reset_simd_level(); }
+  } guard;
+
+  RramDeviceParams dev = ideal();
+  dev.program_sigma = 0.2f;
+  dev.conductance_levels = 16;
+  dev.readout.adc_bits = 8;
+  constexpr int64_t kIn = 37, kOut = 13, kBatch = 9;  // odd sizes: tail lanes
+  Rng rng(400);
+  Tensor w({kOut, kIn});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  Rng prog(401);
+  CrossbarArray xbar(w, dev, prog, /*tile=*/8);
+  Tensor x({kBatch, kIn});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Tensor x_cm({kIn, kBatch});
+  for (int64_t n = 0; n < kBatch; ++n)
+    for (int64_t k = 0; k < kIn; ++k) x_cm[k * kBatch + n] = x[n * kIn + k];
+
+  // Reference: the scalar per-column loop (dispatch-independent).
+  std::vector<Tensor> ref;
+  Tensor xi({kIn});
+  for (int64_t n = 0; n < kBatch; ++n) {
+    std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
+    ref.push_back(xbar.matvec(xi));
+  }
+
+  const SimdLevel levels[] = {SimdLevel::kGeneric, SimdLevel::kAvx2,
+                              SimdLevel::kAvx512f};
+  int tested = 0;
+  for (SimdLevel level : levels) {
+    if (level > simd_max_level()) continue;  // host can't execute it
+    ASSERT_TRUE(force_simd_level(level));
+    ASSERT_EQ(current_simd_level(), level);
+    ++tested;
+    const Tensor y_batch = xbar.matmul(x);
+    const Tensor y_cols = xbar.matmul_cols(x_cm);
+    for (int64_t n = 0; n < kBatch; ++n) {
+      for (int64_t o = 0; o < kOut; ++o) {
+        ASSERT_EQ(y_batch[n * kOut + o], ref[static_cast<size_t>(n)][o])
+            << "level " << static_cast<int>(level) << " matmul " << n << "," << o;
+        ASSERT_EQ(y_cols[n * kOut + o], ref[static_cast<size_t>(n)][o])
+            << "level " << static_cast<int>(level) << " matmul_cols " << n << "," << o;
+      }
+    }
+  }
+  EXPECT_GE(tested, 1);  // generic always runs
+  // Unsupported levels must be rejected without changing the pin.
+  if (simd_max_level() < SimdLevel::kAvx512f) {
+    EXPECT_FALSE(force_simd_level(SimdLevel::kAvx512f));
+  }
+  reset_simd_level();
+  EXPECT_EQ(current_simd_level(), simd_max_level());
+}
+
 TEST(CrossbarExec, ReadNoisePathsAreSeedDeterministic) {
   // With read noise on, matvec and matmul use different stream derivations
   // by design; what each must guarantee is exact reproducibility from the

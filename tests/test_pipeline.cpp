@@ -44,7 +44,10 @@ TEST(Pipeline, FullRunRecoversAccuracy) {
   cfg.lipschitz_train.lipschitz.beta = 3e-2f;
   cfg.comp_train.epochs = 3;
   cfg.comp_train.lr = 2e-3f;
-  cfg.mc.samples = 16;  // the ordering slack below scales with this
+  cfg.mc.samples = 32;  // the derived ordering slack scales as 1/sqrt(this);
+                        // 32 keeps the 99.9% CI comfortably inside the true
+                        // recovery margins (16 sat within one reseeding of
+                        // the boundary; see perf notes)
   cfg.plan_mode = PlanMode::kFixedRatio;
   cfg.fixed_ratio = 0.5f;
 
@@ -79,6 +82,33 @@ TEST(Pipeline, FullRunRecoversAccuracy) {
   // The corrected model is runnable and consistent with the recorded stats.
   McResult check = mc_accuracy(r.corrected_model, ds.test, cfg.variation, cfg.mc);
   EXPECT_NEAR(check.mean, r.corrected_var.mean, 1e-9);
+}
+
+TEST(Pipeline, McOrderingSlackPinnedOnFixedInputs) {
+  // Regression pin for the derived statistical slack: if the formula drifts
+  // (z-score, binomial floor, clamping, sample-count scaling), these exact
+  // values move and the recovery assertions above silently change meaning.
+  auto mk = [](double mean, double stddev, size_t n) {
+    McResult r;
+    r.mean = mean;
+    r.stddev = stddev;
+    r.samples.assign(n, mean);
+    return r;
+  };
+  // Empirical stddev dominating one side, the binomial floor the other.
+  EXPECT_NEAR(mc_ordering_slack(mk(0.9, 0.05, 16), mk(0.7, 0.0, 16), 200),
+              0.049006093371130904, 1e-12);
+  // Symmetric case with a clean closed form: var = 0.01/32 per side,
+  // slack = 3.29 * sqrt(6.25e-4) = 0.08225 exactly.
+  EXPECT_NEAR(mc_ordering_slack(mk(0.5, 0.1, 32), mk(0.5, 0.1, 32), 200),
+              0.08225, 1e-12);
+  // Empty sample lists fall back to n = 1, and means clamp away from the
+  // degenerate 0/1 endpoints before the binomial floor.
+  McResult hi = mk(1.0, 0.0, 0), lo = mk(0.0, 0.0, 0);
+  EXPECT_NEAR(mc_ordering_slack(hi, lo, 100), 0.00046527602938590396, 1e-15);
+  // More chips shrink the slack: 4x the samples halves the CI.
+  EXPECT_NEAR(mc_ordering_slack(mk(0.5, 0.1, 128), mk(0.5, 0.1, 128), 200),
+              0.08225 / 2.0, 1e-12);
 }
 
 }  // namespace
