@@ -1,29 +1,46 @@
 // bench_faultsim: fault-campaign throughput on the inference runtime.
 //
 // Times a faultsim::Campaign — a fault kind x severity x protection grid
-// executed as crossbar chip farms on McEngine — and reports scenarios/sec,
-// chip evaluations/sec and images/sec on the current machine (1 core in CI).
-// Also asserts the campaign determinism contract: a second run must
-// reproduce every per-chip accuracy sample bit for bit.
+// executed as crossbar chip farms on McEngine — twice: once sequentially
+// (parallel_scenarios = 1) and once with scenario-level concurrency
+// (--threads N; default 0 = auto, one worker per core), reporting
+// scenarios/sec for both and the speedup. On a multi-core box the outer
+// grid is embarrassingly parallel and the auto-width leg should be
+// >= 1.5x at 2+ workers; an explicit N below the core count trades away
+// the sequential leg's chip-level parallelism and can report < 1x on wide
+// machines (scenario-granular scheduling — see docs/ARCHITECTURE.md). On a
+// 1-core box the speedup is reported, not asserted; pass an explicit
+// --threads N >= 2 there to exercise the dedicated scheduler pool (CI
+// does).
+//
+// Also asserts the campaign determinism contracts: the parallel report must
+// be byte-identical to the sequential one (scheduling independence), and a
+// second parallel run must reproduce it byte for byte (run-to-run).
 //
 // Writes BENCH_faultsim.json (see bench::BenchJson). `--quick` shrinks the
 // grid for CI smoke runs.
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common.h"
 #include "faultsim/campaign.h"
+#include "runtime/scheduler.h"
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-cn::faultsim::Campaign make_campaign(const cn::nn::Sequential& model, bool quick) {
+cn::faultsim::Campaign make_campaign(const cn::nn::Sequential& model, bool quick,
+                                     int64_t parallel) {
   using namespace cn;
   faultsim::CampaignOptions co;
   co.chips = quick ? 2 : 6;
   co.seed = 42;
   co.batch_size = 128;
+  co.parallel_scenarios = parallel;
   co.dev.program_sigma = 0.1f;
   faultsim::Campaign c(co);
   c.add_model("baseline", model, false);
@@ -43,13 +60,26 @@ cn::faultsim::Campaign make_campaign(const cn::nn::Sequential& model, bool quick
   return c;
 }
 
+std::string normalized_json(cn::faultsim::CampaignReport r) {
+  r.wall_s = 0.0;  // the one field that legitimately differs between runs
+  return r.to_json();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cn;
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
+  int64_t threads = 0;  // parallel-leg concurrency; 0 = auto (pool width)
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoll(argv[++i]);
+  }
+  if (threads < 0) {  // fail at parse time, not after minutes of training
+    std::fprintf(stderr, "bench_faultsim: --threads must be >= 0 (0 = auto)\n");
+    return 2;
+  }
 
   const int64_t test_count = quick ? 100 : 300;
   std::printf("== bench_faultsim (%s, %lld test images) ==\n",
@@ -66,55 +96,75 @@ int main(int argc, char** argv) {
   std::printf("  [train] LeNet5-Digits (%d epochs)...\n", cfg.epochs);
   core::train(model, ds.train, ds.test, cfg);
 
-  faultsim::Campaign campaign = make_campaign(model, quick);
-  const int64_t scenarios = campaign.num_scenarios();
-  std::printf("  [campaign] %lld scenarios, warming up...\n",
+  const int64_t scenarios = make_campaign(model, quick, 1).num_scenarios();
+  std::printf("  [campaign] %lld scenarios, sequential leg...\n",
               static_cast<long long>(scenarios));
 
-  const auto t0 = Clock::now();
-  const faultsim::CampaignReport report = campaign.run(ds.test);
-  const double wall =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+  auto timed_run = [&](int64_t parallel, double& wall) {
+    faultsim::Campaign c = make_campaign(model, quick, parallel);
+    const auto t0 = Clock::now();
+    faultsim::CampaignReport r = c.run(ds.test);
+    wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    return r;
+  };
 
-  const int64_t chip_evals = scenarios * report.chips;
+  double wall_seq = 0.0, wall_par = 0.0, wall_rep = 0.0;
+  const faultsim::CampaignReport seq = timed_run(1, wall_seq);
+  const int64_t conc = runtime::effective_concurrency(threads, scenarios);
+  std::printf("  [campaign] parallel leg (%lld scenarios at a time)...\n",
+              static_cast<long long>(conc));
+  const faultsim::CampaignReport par = timed_run(threads, wall_par);
+
+  const int64_t chip_evals = scenarios * seq.chips;
   const double images = static_cast<double>(chip_evals * test_count);
-  std::printf("  [campaign] %lld scenarios in %.2fs: %.2f scenarios/s, "
+  const double seq_rate = static_cast<double>(scenarios) / wall_seq;
+  const double par_rate = static_cast<double>(scenarios) / wall_par;
+  const double speedup = wall_par > 0.0 ? wall_seq / wall_par : 0.0;
+  std::printf("  [campaign] sequential: %.2fs, %.2f scenarios/s, "
               "%.1f chip-evals/s, %.0f images/s\n",
-              static_cast<long long>(scenarios), wall,
-              static_cast<double>(scenarios) / wall,
-              static_cast<double>(chip_evals) / wall, images / wall);
+              wall_seq, seq_rate, static_cast<double>(chip_evals) / wall_seq,
+              images / wall_seq);
+  std::printf("  [campaign] parallel:   %.2fs, %.2f scenarios/s (%.2fx)\n",
+              wall_par, par_rate, speedup);
   std::printf("  [campaign] grid mean accuracy %.3f, catastrophic chips %lld\n",
-              report.mean_accuracy("baseline"),
-              static_cast<long long>(report.total_catastrophic()));
+              seq.mean_accuracy("baseline"),
+              static_cast<long long>(seq.total_catastrophic()));
 
-  // Determinism: a re-run must reproduce every sample bit for bit.
-  faultsim::Campaign again = make_campaign(model, quick);
-  const faultsim::CampaignReport repeat = again.run(ds.test);
-  bool identical = repeat.scenarios.size() == report.scenarios.size();
-  for (size_t i = 0; identical && i < report.scenarios.size(); ++i) {
-    const auto& a = report.scenarios[i].acc.samples;
-    const auto& b = repeat.scenarios[i].acc.samples;
-    identical = a.size() == b.size();
-    for (size_t s = 0; identical && s < a.size(); ++s) identical = a[s] == b[s];
-  }
-  std::printf("  [campaign] repeat run bit-identical: %s\n",
-              identical ? "yes" : "NO");
+  // Determinism contracts. Scheduling independence: the parallel report must
+  // be byte-identical to the sequential one. Run-to-run: a repeated parallel
+  // run must reproduce it byte for byte.
+  const std::string seq_json = normalized_json(seq);
+  const bool scheduling_identical = normalized_json(par) == seq_json;
+  const faultsim::CampaignReport repeat = timed_run(threads, wall_rep);
+  const bool rerun_identical = normalized_json(repeat) == seq_json;
+  std::printf("  [campaign] sequential-vs-parallel byte-identical: %s\n",
+              scheduling_identical ? "yes" : "NO");
+  std::printf("  [campaign] repeat run byte-identical: %s\n",
+              rerun_identical ? "yes" : "NO");
 
   bench::BenchJson json("faultsim");
   json.set("quick", quick);
   json.set("test_images", test_count);
   json.set("scenarios", scenarios);
-  json.set("chips_per_scenario", report.chips);
-  json.set("wall_s", wall);
-  json.set("scenarios_per_s", static_cast<double>(scenarios) / wall);
-  json.set("chip_evals_per_s", static_cast<double>(chip_evals) / wall);
-  json.set("images_per_s", images / wall);
-  json.set("grid_mean_acc", report.mean_accuracy("baseline"));
-  json.set("catastrophic", report.total_catastrophic());
-  json.set("deterministic", identical);
+  json.set("chips_per_scenario", seq.chips);
+  json.set("scenario_threads", conc);
+  json.set("wall_s_seq", wall_seq);
+  json.set("wall_s_par", wall_par);
+  json.set("scenarios_per_s_seq", seq_rate);
+  json.set("scenarios_per_s_par", par_rate);
+  json.set("parallel_speedup", speedup);
+  json.set("chip_evals_per_s", static_cast<double>(chip_evals) / wall_seq);
+  json.set("images_per_s", images / wall_seq);
+  json.set("grid_mean_acc", seq.mean_accuracy("baseline"));
+  json.set("catastrophic", seq.total_catastrophic());
+  json.set("deterministic", scheduling_identical && rerun_identical);
   json.write();
 
-  if (!identical) {
+  if (!scheduling_identical) {
+    std::printf("FAIL: parallel campaign diverged from sequential\n");
+    return 1;
+  }
+  if (!rerun_identical) {
     std::printf("FAIL: campaign re-run diverged\n");
     return 1;
   }

@@ -34,6 +34,7 @@
 #include "models/lenet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
+#include "runtime/scheduler.h"
 
 namespace {
 
@@ -100,6 +101,8 @@ struct FaultArgs {
   std::string out = "faultsim_report.json";
   int64_t chips = 0;  // >0 overrides the config's chip count
   bool remap = false; // force the fault-aware remapping axis on
+  bool parallel_set = false;  // --parallel given: override parallel_scenarios
+  int64_t parallel = 0;       // passed through verbatim — negatives must throw
   int epochs = 3;
   int comp_epochs = 3;
   float sigma = 0.5f;
@@ -111,7 +114,7 @@ struct FaultArgs {
   std::fprintf(stderr,
                "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
-               "          [--sigma S] [--remap]\n",
+               "          [--sigma S] [--remap] [--parallel N]\n",
                argv0);
   std::exit(2);
 }
@@ -128,6 +131,7 @@ FaultArgs parse_faults(int argc, char** argv) {
     else if (k == "--out") a.out = next();
     else if (k == "--chips") a.chips = std::atoll(next());
     else if (k == "--remap") a.remap = true;
+    else if (k == "--parallel") { a.parallel = std::atoll(next()); a.parallel_set = true; }
     else if (k == "--epochs") a.epochs = std::atoi(next());
     else if (k == "--comp-epochs") a.comp_epochs = std::atoi(next());
     else if (k == "--train") a.train = std::atoll(next());
@@ -164,6 +168,11 @@ int run_faults(int argc, char** argv) {
               : core::KeyValueConfig::from_file(args.config);
       if (args.chips > 0) cfg.set("chips", std::to_string(args.chips));
       if (args.remap) cfg.set("remap", "1");
+      // Passed through unvalidated on purpose: a bad value (e.g. negative)
+      // must throw from the Campaign ctor like its config-file twin would,
+      // not be silently dropped here.
+      if (args.parallel_set)
+        cfg.set("parallel_scenarios", std::to_string(args.parallel));
       return faultsim::campaign_from_config(cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bad campaign config%s%s: %s\n",
@@ -198,11 +207,13 @@ int run_faults(int argc, char** argv) {
   };
 
   std::printf("\nrunning fault campaign: %lld scenarios (%lld fault specs x %lld "
-              "protection variants%s)\n",
+              "protection variants%s), concurrency %lld\n",
               static_cast<long long>(campaign.num_scenarios()),
               static_cast<long long>(campaign.num_faults()),
               static_cast<long long>(campaign.num_models()),
-              campaign.remap_enabled() ? " x 2 remap variants" : "");
+              campaign.remap_enabled() ? " x 2 remap variants" : "",
+              static_cast<long long>(runtime::effective_concurrency(
+                  campaign.parallel_scenarios(), campaign.num_scenarios())));
   const faultsim::CampaignReport report = campaign.run(ds.test);
 
   std::printf("\n==== fault campaign (%lld chips/scenario, %.2fs) ====\n",

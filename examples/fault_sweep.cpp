@@ -11,9 +11,15 @@
 // controller on (N spare rows + N spare columns per tile, differential-pair
 // swap enabled) on the *same* chip seeds, printing the matched-pair recovery
 // and how many defective devices the controller absorbed.
+//
+// --parallel N evaluates sweep points concurrently (N at a time; 0 = auto):
+// point i gets its own farm keyed exactly like McEngine::sensitivity_sweep's
+// reconfigure (seed base + i*stride, injection start i), so every printed
+// number is bit-identical to the sequential sweep.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
@@ -21,12 +27,45 @@
 #include "models/lenet.h"
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
+#include "runtime/scheduler.h"
+
+namespace {
+
+// The Fig. 9 sweep with scenario-level concurrency: one farm per point
+// instead of re-keying a single farm, seeded to match
+// McEngine::sensitivity_sweep (its exported seed stride, first_site =
+// point), so the results are bit-identical to the sequential engine path
+// for any --parallel value.
+std::vector<cn::core::SensitivityPoint> sweep_points(
+    const cn::nn::Sequential& model, const cn::analog::FaultList& list,
+    const cn::runtime::ChipFarmOptions& base, const cn::data::Dataset& test,
+    int64_t sites, uint64_t base_seed, int64_t parallel) {
+  using namespace cn;
+  std::vector<core::SensitivityPoint> out(static_cast<size_t>(sites));
+  const int64_t conc = runtime::effective_concurrency(parallel, sites);
+  runtime::parallel_indexed(sites, conc, [&](int64_t i) {
+    runtime::ChipFarmOptions fo = base;
+    fo.seed =
+        base_seed + static_cast<uint64_t>(i) * runtime::McEngine::kSweepSeedStride;
+    fo.first_site = i;
+    if (conc > 1) fo.max_live = 1;  // one model clone per in-flight point
+    runtime::ChipFarm farm(model, analog::RramDeviceParams{}, fo, list);
+    runtime::McEngineOptions eo;
+    if (conc > 1) eo.threads = 1;
+    const core::McResult r = runtime::McEngine(farm, eo).accuracy(test);
+    out[static_cast<size_t>(i)] = core::SensitivityPoint{i, r.mean, r.stddev};
+  });
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cn;
   double rate = 0.05;
   int chips = 6;
-  int64_t spare = -1;  // <0 = remap comparison off
+  int64_t spare = -1;     // <0 = remap comparison off
+  int64_t parallel = 1;   // sweep-point concurrency; 0 = auto
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc)
       rate = std::atof(argv[++i]);
@@ -34,6 +73,12 @@ int main(int argc, char** argv) {
       chips = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--spare") == 0 && i + 1 < argc)
       spare = std::atoll(argv[++i]);
+    else if (std::strcmp(argv[i], "--parallel") == 0 && i + 1 < argc)
+      parallel = std::atoll(argv[++i]);
+  }
+  if (parallel < 0) {  // fail loudly, like correctnet_cli faults --parallel
+    std::fprintf(stderr, "fault_sweep: --parallel must be >= 0 (0 = auto)\n");
+    return 2;
   }
 
   data::DigitsSpec spec;
@@ -49,13 +94,13 @@ int main(int argc, char** argv) {
   const float clean = core::evaluate(model, ds.test);
 
   const faultsim::FaultSpec fault = faultsim::stuck_at(rate);
+  const analog::FaultList flist = fault.list();
   const int64_t sites = static_cast<int64_t>(model.analog_sites().size());
   runtime::ChipFarmOptions fo;
   fo.instances = chips;
   fo.seed = 42;
-  runtime::ChipFarm farm(model, analog::RramDeviceParams{}, fo, fault.list());
-  runtime::McEngine engine(farm);
-  const auto sweep = engine.sensitivity_sweep(ds.test, sites, /*base_seed=*/42);
+  const auto sweep =
+      sweep_points(model, flist, fo, ds.test, sites, /*base_seed=*/42, parallel);
 
   const bool remapping = spare >= 0;
   std::vector<core::SensitivityPoint> remapped;
@@ -65,13 +110,12 @@ int main(int argc, char** argv) {
     ro.remap.enabled = true;
     ro.remap.spare_rows = spare;
     ro.remap.spare_cols = spare;
-    runtime::ChipFarm rfarm(model, analog::RramDeviceParams{}, ro, fault.list());
-    runtime::McEngine rengine(rfarm);
-    // Same base seed: point i re-keys with the seed the unremapped sweep
+    // Same base seed: point i runs under the seed the unremapped sweep
     // used, so each pair of rows sees identical defect maps.
-    remapped = rengine.sensitivity_sweep(ds.test, sites, /*base_seed=*/42);
+    remapped =
+        sweep_points(model, flist, ro, ds.test, sites, /*base_seed=*/42, parallel);
     // Repair accounting at the full-injection point (faults from site 0).
-    rfarm.reconfigure(42, 0);
+    runtime::ChipFarm rfarm(model, analog::RramDeviceParams{}, ro, flist);
     for (int64_t s = 0; s < chips; ++s)
       absorbed_at_full += rfarm.chip_remap_stats(s);
   }

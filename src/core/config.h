@@ -39,7 +39,9 @@ struct RuntimeConfig {
 /// parse on access: the caller default covers absent or empty keys, while a
 /// present value that does not fully parse throws. Drives the fault-campaign
 /// CLI (faultsim keys like `stuck.rates`, `drift.times`, `thermal.temps`;
-/// see faultsim::campaign_from_config).
+/// see faultsim::campaign_from_config). docs/CONFIG.md is the per-key
+/// reference; its campaign table is test-enforced against the declared
+/// validate_keys set (faultsim::campaign_config_keys).
 class KeyValueConfig {
  public:
   KeyValueConfig() = default;

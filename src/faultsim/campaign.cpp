@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <stdexcept>
 
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
+#include "runtime/scheduler.h"
 
 namespace cn::faultsim {
 
@@ -136,6 +138,9 @@ void CampaignReport::write_json(const std::string& path) const {
 Campaign::Campaign(CampaignOptions opts) : opts_(opts) {
   if (opts_.chips < 1)
     throw std::invalid_argument("Campaign: need at least one chip per scenario");
+  if (opts_.parallel_scenarios < 0)
+    throw std::invalid_argument(
+        "Campaign: parallel_scenarios must be >= 0 (0 = auto)");
   // An enabled remap axis with every repair move switched off would double
   // the grid with bit-identical no-op rows — the silent-misconfiguration
   // class the config hardening exists to stop.
@@ -178,75 +183,126 @@ CampaignReport Campaign::run(const data::Dataset& test) {
   report.chips = opts_.chips;
   report.seed = opts_.seed;
   report.catastrophic_below = opts_.catastrophic_below;
-  report.scenarios.reserve(static_cast<size_t>(num_scenarios()));
 
-  for (size_t fi = 0; fi < faults_.size(); ++fi) {
-    const FaultSpec& spec = faults_[fi];
+  // Flatten the grid in report (grid) order — fault spec outer, protection
+  // variant, then the remap axis (off first, then on, under the *same*
+  // scenario seed: the pair realizes identical defect maps, so any accuracy
+  // gap is the controller's doing; matched pairs, like the compensation
+  // variants). Cell i owns report.scenarios[i], so the report layout is
+  // fixed before anything runs and never depends on completion order.
+  struct Cell {
+    size_t fi;
+    size_t mi;
+    bool remap_on;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<size_t>(num_scenarios()));
+  const int remap_variants = opts_.remap.enabled ? 2 : 1;
+  for (size_t fi = 0; fi < faults_.size(); ++fi)
+    for (size_t mi = 0; mi < models_.size(); ++mi)
+      for (int rv = 0; rv < remap_variants; ++rv)
+        cells.push_back(Cell{fi, mi, rv == 1});
+  // Fault lists are shared across a spec's cells: fault models are
+  // stateless (const apply, per-chip rng), so concurrent scenarios of one
+  // spec can read one list.
+  std::vector<analog::FaultList> lists;
+  lists.reserve(faults_.size());
+  for (const FaultSpec& spec : faults_) lists.push_back(spec.list());
+
+  const int64_t n = static_cast<int64_t>(cells.size());
+  const int64_t conc =
+      runtime::effective_concurrency(opts_.parallel_scenarios, n);
+  report.scenarios.resize(static_cast<size_t>(n));
+  // Concurrent scenarios log through one mutex so lines never interleave
+  // mid-message; each line carries its grid index since completion order is
+  // scheduler-dependent.
+  std::mutex log_mu;
+
+  runtime::parallel_indexed(n, conc, [&](int64_t i) {
+    const Cell& cell = cells[static_cast<size_t>(i)];
+    const FaultSpec& spec = faults_[cell.fi];
+    const ModelEntry& me = models_[cell.mi];
     // Per-scenario seed depends on the fault index only: every protection
     // variant sees the same chips and the same fault realizations.
-    const uint64_t scenario_seed =
-        mix64(opts_.seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(fi) + 1)));
-    const analog::FaultList list = spec.list();
-    // Remap axis: off first, then on, under the *same* scenario seed — the
-    // pair realizes identical defect maps, so any accuracy gap is the
-    // controller's doing (matched pairs, like the compensation variants).
-    const int remap_variants = opts_.remap.enabled ? 2 : 1;
-    for (const ModelEntry& me : models_) {
-      for (int rv = 0; rv < remap_variants; ++rv) {
-        const bool remap_on = rv == 1;
-        if (log)
-          log("scenario " + spec.kind + "@" + json_num(spec.severity) + " x " +
-              me.name + (opts_.remap.enabled ? (remap_on ? " x remap" : " x no-remap") : ""));
-        runtime::ChipFarmOptions fo;
-        fo.instances = opts_.chips;
-        fo.seed = scenario_seed;
-        fo.max_live = opts_.max_live;
-        fo.tile = opts_.tile;
-        if (remap_on) fo.remap = opts_.remap;
-        runtime::ChipFarm farm(*me.model, opts_.dev, fo, list);
-        runtime::McEngineOptions eo;
-        eo.batch_size = opts_.batch_size;
-        eo.threads = opts_.threads;
-        ScenarioResult res;
-        res.fault_kind = spec.kind;
-        res.severity = spec.severity;
-        res.model_name = me.name;
-        res.compensation = me.compensation;
-        res.remapped = remap_on;
-        res.acc = runtime::McEngine(farm, eo).accuracy(test);
-        for (double a : res.acc.samples)
-          if (a < opts_.catastrophic_below) ++res.catastrophic;
-        if (remap_on) {
-          for (int64_t s = 0; s < opts_.chips; ++s) {
-            const remap::RemapStats st = farm.chip_remap_stats(s);
-            res.defects += st.defects;
-            res.absorbed += st.absorbed();
-            res.residual += st.residual;
-          }
-        }
-        report.scenarios.push_back(std::move(res));
+    const uint64_t scenario_seed = mix64(
+        opts_.seed ^
+        (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(cell.fi) + 1)));
+    if (log) {
+      std::string msg = "[" + std::to_string(i + 1) + "/" + std::to_string(n) +
+                        "] scenario " + spec.kind + "@" +
+                        json_num(spec.severity) + " x " + me.name +
+                        (opts_.remap.enabled
+                             ? (cell.remap_on ? " x remap" : " x no-remap")
+                             : "");
+      std::lock_guard<std::mutex> lk(log_mu);
+      log(msg);
+    }
+    runtime::ChipFarmOptions fo;
+    fo.instances = opts_.chips;
+    fo.seed = scenario_seed;
+    fo.max_live = opts_.max_live;
+    // Partition farm slots across live scenarios: a scheduler worker
+    // evaluates its scenario inline (nested parallel_for runs inline), so
+    // extra live slots buy nothing and cost one model clone each — one slot
+    // per concurrent scenario bounds memory at conc models. Chips are pure
+    // functions of chip_seed(s), so the slot count never changes results.
+    if (fo.max_live == 0 && conc > 1) fo.max_live = 1;
+    fo.tile = opts_.tile;
+    if (cell.remap_on) fo.remap = opts_.remap;
+    runtime::ChipFarm farm(*me.model, opts_.dev, fo, lists[cell.fi]);
+    runtime::McEngineOptions eo;
+    eo.batch_size = opts_.batch_size;
+    eo.threads = opts_.threads;
+    ScenarioResult res;
+    res.fault_kind = spec.kind;
+    res.severity = spec.severity;
+    res.model_name = me.name;
+    res.compensation = me.compensation;
+    res.remapped = cell.remap_on;
+    res.acc = runtime::McEngine(farm, eo).accuracy(test);
+    for (double a : res.acc.samples)
+      if (a < opts_.catastrophic_below) ++res.catastrophic;
+    if (cell.remap_on) {
+      for (int64_t s = 0; s < opts_.chips; ++s) {
+        const remap::RemapStats st = farm.chip_remap_stats(s);
+        res.defects += st.defects;
+        res.absorbed += st.absorbed();
+        res.residual += st.residual;
       }
     }
-  }
+    report.scenarios[static_cast<size_t>(i)] = std::move(res);
+  });
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;
 }
 
-Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
-  // A typo'd key must fail loudly, not silently drop a scenario axis.
-  cfg.validate_keys({
+const std::vector<std::string>& campaign_config_keys() {
+  // The single source of truth for the campaign key set: validate_keys
+  // enforces it at parse time and tests/test_config.cpp diffs docs/CONFIG.md
+  // against it, so a key added here without documentation (or vice versa)
+  // fails tier-1.
+  static const std::vector<std::string> keys = {
       "chips", "seed", "batch", "catastrophic", "tile", "control",
+      "parallel_scenarios",
       "program_sigma", "read_sigma", "adc_bits", "dac_bits", "levels",
       "stuck.rates", "stuck.high_fraction", "drift.times", "drift.nu",
       "drift.nu_sigma", "ir.alphas", "thermal.temps", "thermal.t0",
       "remap", "remap.spare_rows", "remap.spare_cols", "remap.pair_swap",
-  });
+  };
+  return keys;
+}
+
+Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
+  // A typo'd key must fail loudly, not silently drop a scenario axis.
+  cfg.validate_keys(campaign_config_keys());
   CampaignOptions opts;
   opts.chips = cfg.integer("chips", opts.chips);
   opts.seed = static_cast<uint64_t>(cfg.integer("seed", static_cast<int64_t>(opts.seed)));
   opts.batch_size = cfg.integer("batch", opts.batch_size);
   opts.tile = cfg.integer("tile", opts.tile);
+  opts.parallel_scenarios =
+      cfg.integer("parallel_scenarios", opts.parallel_scenarios);
   opts.catastrophic_below = cfg.number("catastrophic", opts.catastrophic_below);
   opts.dev.program_sigma = static_cast<float>(cfg.number("program_sigma", 0.0));
   opts.dev.readout.read_sigma = static_cast<float>(cfg.number("read_sigma", 0.0));

@@ -1,13 +1,20 @@
 // Campaign: robustness-evaluation engine over the inference runtime.
 //
 // A campaign is a scenario grid — fault kind x severity x protection variant
-// (compensation on/off, baseline protections) — executed sample-parallel:
-// every scenario builds a crossbar-mode runtime::ChipFarm carrying the
-// scenario's fault list and evaluates it with runtime::McEngine, so results
-// are bit-identical for any thread count and any number of live chip slots.
-// Scenario fault realizations are paired across protection variants (same
-// per-scenario chip seeds), making the compensation-on/off comparison a
-// matched-pairs experiment.
+// (compensation on/off, baseline protections) — where every scenario builds
+// a crossbar-mode runtime::ChipFarm carrying the scenario's fault list and
+// evaluates it with runtime::McEngine. Scenario fault realizations are
+// paired across protection variants (same per-scenario chip seeds), making
+// the compensation-on/off comparison a matched-pairs experiment.
+//
+// The outer grid itself is embarrassingly parallel and is scheduled with
+// runtime::parallel_indexed: up to `parallel_scenarios` cells run
+// concurrently, each with its own farm/engine state, and every result is
+// written to its grid-order slot (deterministic reduction keyed by scenario
+// index, never by completion order). Per-scenario chip seeds depend only on
+// (campaign seed, fault index), so the CampaignReport — including its JSON —
+// is byte-identical for any scheduling (asserted in tier-1 and by
+// bench_faultsim).
 //
 // The *description* of a campaign (FaultSpecs + model variants + options) is
 // plain data, separate from *execution* (run) and *reporting*
@@ -35,6 +42,15 @@ struct CampaignOptions {
   int64_t max_live = 0;       // ChipFarm physical slots; 0 = auto
   int64_t tile = 128;         // crossbar tile edge
   int threads = 0;            // McEngine threads; 1 forces the serial path
+  // Scenario-level concurrency: how many grid cells run at once on the
+  // shared tensor pool (a dedicated pool is provisioned when the shared one
+  // is narrower — see runtime::parallel_indexed). 0 = auto (pool width),
+  // 1 = sequential. Results are byte-identical for every value. Parallelism
+  // is scenario-granular: under any value > 1 each scenario runs serially
+  // inside its worker (nested parallel_for is inline), so an explicit value
+  // *below* the core count trades away the sequential path's chip-level
+  // parallelism — on wide boxes use 0 (auto) or >= the core count.
+  int64_t parallel_scenarios = 0;
   double catastrophic_below = 0.2;  // accuracy counted as catastrophic failure
   analog::RramDeviceParams dev;     // baseline device every scenario starts from
   // Fault-aware remapping protection axis: when `remap.enabled`, every
@@ -108,17 +124,25 @@ class Campaign {
   int64_t num_faults() const { return static_cast<int64_t>(faults_.size()); }
   /// Whether the remap-on/off protection axis is part of the grid.
   bool remap_enabled() const { return opts_.remap.enabled; }
+  /// The scenario-concurrency knob (0 = auto); frontends print it.
+  int64_t parallel_scenarios() const { return opts_.parallel_scenarios; }
   /// Grid size = fault specs x protection variants x remap variants.
   int64_t num_scenarios() const {
     return num_models() * num_faults() * (opts_.remap.enabled ? 2 : 1);
   }
 
   /// Progress hook (scenario label), printed by the CLI/bench frontends.
+  /// Invoked under an internal mutex — concurrent scenarios never interleave
+  /// within one message — but the sink itself must tolerate being called
+  /// from scheduler worker threads. Messages carry a "[k/N]" grid-order
+  /// index; arrival order follows completion and is not deterministic.
   std::function<void(const std::string&)> log;
 
   /// Runs the whole grid and aggregates the report. Deterministic: scenario
   /// (fi, model) uses chip seeds derived from (opts.seed, fi) only, so the
-  /// same chips and fault realizations meet every protection variant.
+  /// same chips and fault realizations meet every protection variant — and
+  /// results land at their grid index, so the report does not depend on
+  /// `parallel_scenarios` (only wall_s does).
   CampaignReport run(const data::Dataset& test);
 
  private:
@@ -132,8 +156,17 @@ class Campaign {
   std::vector<FaultSpec> faults_;
 };
 
-/// Builds a campaign grid from config-file keys (core::KeyValueConfig):
+/// The campaign config-key set campaign_from_config declares to
+/// core::KeyValueConfig::validate_keys. Exposed so docs/CONFIG.md can be
+/// test-enforced against the code (tests/test_config.cpp diffs the
+/// documented table against this list).
+const std::vector<std::string>& campaign_config_keys();
+
+/// Builds a campaign grid from config-file keys (core::KeyValueConfig);
+/// docs/CONFIG.md is the per-key reference (type, default, validation),
+/// kept honest by a tier-1 test. Summary:
 ///   chips, seed, batch, catastrophic, tile    — CampaignOptions scalars
+///   parallel_scenarios = 0|1|N — scenario-level concurrency (0 = auto)
 ///   program_sigma, read_sigma, adc_bits, dac_bits, levels — baseline device
 ///   control = 0|1            — include the fault-free control scenario (default 1)
 ///   stuck.rates = 0.001,0.01 — stuck-at severity grid (stuck.high_fraction)

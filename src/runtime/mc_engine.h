@@ -24,6 +24,11 @@ struct McEngineOptions {
 
 class McEngine {
  public:
+  /// Default per-point seed stride of sensitivity_sweep. Exported so
+  /// callers that rebuild sweep points themselves (examples/fault_sweep's
+  /// parallel sweep) stay bit-identical to the engine path by construction.
+  static constexpr uint64_t kSweepSeedStride = 1000003ull;
+
   explicit McEngine(ChipFarm& farm, McEngineOptions opts = {});
 
   /// Accuracy statistics over every chip of the farm; samples[s] is chip s.
@@ -34,7 +39,7 @@ class McEngine {
   /// measures accuracy. Matches core::sensitivity_sweep's seeding.
   std::vector<core::SensitivityPoint> sensitivity_sweep(
       const data::Dataset& test, int64_t num_sites, uint64_t base_seed,
-      uint64_t seed_stride = 1000003ull);
+      uint64_t seed_stride = kSweepSeedStride);
 
  private:
   ChipFarm& farm_;

@@ -1,0 +1,71 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+#include "tensor/threadpool.h"
+
+namespace cn::runtime {
+
+int64_t effective_concurrency(int64_t requested, int64_t n) {
+  int64_t c = requested;
+  if (c <= 0) c = static_cast<int64_t>(ThreadPool::global().size());
+  return std::max<int64_t>(1, std::min(c, std::max<int64_t>(1, n)));
+}
+
+void parallel_indexed(int64_t n, int64_t concurrency,
+                      const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  int64_t c = effective_concurrency(concurrency, n);
+  // Inside a pool worker every parallel_for runs inline, so workers
+  // provisioned here could never dispatch — degenerate to the serial loop.
+  if (ThreadPool::current_thread_in_pool()) c = 1;
+  if (c <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  // Each drainer pulls the next unclaimed index until the range (or the run,
+  // after a failure) is exhausted — dynamic load balancing across
+  // heterogeneous jobs.
+  auto drain = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!err) err = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  auto run_on = [&](ThreadPool& pool) {
+    pool.parallel_for(
+        0, c,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t w = lo; w < hi; ++w) drain();
+        },
+        /*min_chunk=*/1);
+  };
+  ThreadPool& shared = ThreadPool::global();
+  if (static_cast<int64_t>(shared.size()) >= c) {
+    run_on(shared);
+  } else {
+    // The shared pool is narrower than the requested concurrency (1-core
+    // box, or an explicit oversubscription request): give this call its own
+    // workers so the knob still controls real in-flight jobs.
+    ThreadPool own(static_cast<unsigned>(c));
+    run_on(own);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace cn::runtime

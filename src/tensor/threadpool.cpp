@@ -7,7 +7,7 @@ namespace cn {
 
 namespace {
 // The pool a worker thread belongs to, or nullptr on external threads. Lets
-// parallel_for detect re-entrant use from inside one of its own tasks.
+// parallel_for detect calls made from inside any pool task.
 thread_local const ThreadPool* tl_current_pool = nullptr;
 }  // namespace
 
@@ -53,10 +53,15 @@ void ThreadPool::parallel_for(int64_t begin, int64_t end,
     fn(begin, end);
     return;
   }
-  // Re-entrant call from one of our own workers: run inline. Queueing child
-  // chunks and blocking would deadlock once every worker waits on a nested
-  // loop (e.g. MC sample tasks whose forward passes also call parallel_for).
-  if (tl_current_pool == this) {
+  // Call from inside any pool worker — ours or another pool's — runs inline.
+  // Re-entrant use would deadlock once every worker waits on a nested loop
+  // (e.g. MC sample tasks whose forward passes also call parallel_for), and
+  // cross-pool dispatch (a campaign scheduler worker reaching the global
+  // pool) would at best serialize every caller through the other pool's
+  // queue and at worst deadlock once the pools wait on each other. A thread
+  // that already lives inside a parallel region IS the parallelism; nested
+  // ranges execute as a single inline chunk.
+  if (tl_current_pool != nullptr) {
     fn(begin, end);
     return;
   }
@@ -96,6 +101,8 @@ ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
+
+bool ThreadPool::current_thread_in_pool() { return tl_current_pool != nullptr; }
 
 void parallel_for(int64_t begin, int64_t end,
                   const std::function<void(int64_t, int64_t)>& fn,

@@ -27,15 +27,22 @@ class ThreadPool {
 
   /// Runs fn(begin..end) split into contiguous chunks across the pool,
   /// blocking until all chunks finish. fn(lo, hi) processes [lo, hi).
-  /// Nested calls from inside a pool task run inline (single chunk), so
-  /// outer parallelism (e.g. runtime::McEngine samples) composes with inner
-  /// parallel kernels without deadlocking the pool.
+  /// Nested calls from inside ANY pool task — this pool's or another
+  /// ThreadPool's — run inline (single chunk), so outer parallelism (e.g.
+  /// runtime::McEngine samples, the faultsim campaign scenario scheduler)
+  /// composes with inner parallel kernels without deadlocking a pool or
+  /// funneling every scheduler worker through another pool's queue.
   void parallel_for(int64_t begin, int64_t end,
                     const std::function<void(int64_t, int64_t)>& fn,
                     int64_t min_chunk = 1);
 
   /// Process-wide pool (sized once from hardware_concurrency).
   static ThreadPool& global();
+
+  /// Whether the calling thread is a worker of any ThreadPool — i.e. a
+  /// parallel_for issued here would run inline. Lets schedulers skip
+  /// provisioning workers that could never dispatch.
+  static bool current_thread_in_pool();
 
  private:
   void worker_loop();

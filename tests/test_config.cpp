@@ -1,8 +1,13 @@
 #include "core/config.h"
 
+#include <fstream>
+#include <set>
 #include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "faultsim/campaign.h"
 
 namespace cn::core {
 namespace {
@@ -111,6 +116,44 @@ TEST(KeyValueConfig, PartialScalarParsesThrow) {
       KeyValueConfig::from_string("chips = 1O\nrate = 0.5x\n");
   EXPECT_THROW(cfg.integer("chips", 8), std::runtime_error);
   EXPECT_THROW(cfg.number("rate", 0.0), std::runtime_error);
+}
+
+TEST(ConfigDocs, CampaignTableMatchesDeclaredKeySet) {
+  // docs/CONFIG.md documents every campaign config key in a table between
+  // `campaign-keys:begin/end` markers; faultsim::campaign_config_keys() is
+  // the set campaign_from_config hands to validate_keys. This test diffs the
+  // two, so a key added in code without documentation — or documented
+  // without being declared — fails tier-1.
+  std::ifstream in(std::string(CN_SOURCE_DIR) + "/docs/CONFIG.md");
+  ASSERT_TRUE(in.is_open()) << "docs/CONFIG.md missing under " << CN_SOURCE_DIR;
+
+  std::set<std::string> documented;
+  std::string line;
+  bool in_table = false;
+  while (std::getline(in, line)) {
+    if (line.find("campaign-keys:begin") != std::string::npos) in_table = true;
+    if (line.find("campaign-keys:end") != std::string::npos) in_table = false;
+    // A documented key is the first backticked token of a table row.
+    if (!in_table || line.rfind("| `", 0) != 0) continue;
+    const size_t open = line.find('`');
+    const size_t close = line.find('`', open + 1);
+    ASSERT_NE(close, std::string::npos) << "unterminated key cell: " << line;
+    documented.insert(line.substr(open + 1, close - open - 1));
+  }
+  ASSERT_FALSE(documented.empty())
+      << "campaign-keys markers or table rows missing from docs/CONFIG.md";
+
+  const auto& declared_list = faultsim::campaign_config_keys();
+  const std::set<std::string> declared(declared_list.begin(),
+                                       declared_list.end());
+  for (const std::string& k : declared)
+    EXPECT_TRUE(documented.count(k))
+        << "key `" << k << "` is declared in campaign_config_keys() but "
+        << "undocumented in docs/CONFIG.md";
+  for (const std::string& k : documented)
+    EXPECT_TRUE(declared.count(k))
+        << "key `" << k << "` is documented in docs/CONFIG.md but not "
+        << "declared in campaign_config_keys()";
 }
 
 TEST(KeyValueConfig, MissingFileThrows) {

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "models/lenet.h"
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
+#include "runtime/scheduler.h"
 
 namespace cn::faultsim {
 namespace {
@@ -425,6 +428,87 @@ TEST(Campaign, GridRunsPairedVariantsAndAggregates) {
        p = j.find("\"fault\":", p + 1))
     ++rows;
   EXPECT_EQ(rows, 24u);
+}
+
+TEST(Campaign, SequentialVsParallelReportsAreByteIdentical) {
+  // The scheduling-independence contract: the CampaignReport JSON — every
+  // sample, every remap defect count, every aggregate — must be
+  // byte-identical whether scenarios run one at a time or N at a time, with
+  // the matched-pair remap axis on (the axis most sensitive to seed
+  // misalignment). Concurrency beyond the shared pool width provisions a
+  // dedicated scheduler pool, so this exercises real concurrency even on a
+  // 1-core box.
+  auto& f = fixture();
+  auto make = [&](int64_t parallel) {
+    CampaignOptions co;
+    co.chips = 2;
+    co.seed = 77;
+    co.batch_size = 32;
+    co.parallel_scenarios = parallel;
+    co.dev = quiet_dev();
+    co.dev.program_sigma = 0.1f;
+    co.dev.readout.read_sigma = 0.05f;  // the stochastic read path too
+    co.remap.enabled = true;
+    Campaign c(co);
+    c.add_model("baseline", f.model, false);
+    c.add_fault(fault_free());
+    c.add_fault(stuck_at(0.05));
+    c.add_fault(drift(100.0));
+    return c;
+  };
+  CampaignReport seq = make(1).run(f.ds.test);
+  ASSERT_EQ(seq.scenarios.size(), 6u);  // 3 fault specs x 2 remap variants
+  seq.wall_s = 0.0;
+  const std::string ref = seq.to_json();
+  for (int64_t parallel : {2, 4}) {
+    CampaignReport par = make(parallel).run(f.ds.test);
+    par.wall_s = 0.0;
+    EXPECT_EQ(par.to_json(), ref) << "parallel_scenarios=" << parallel;
+  }
+}
+
+TEST(Campaign, ConcurrentFarmsOnSharedPoolMatchSequential) {
+  // Stress the farm/engine concurrency contract the scheduler depends on:
+  // many crossbar farms built from one shared base model, programming and
+  // evaluating at once, must each reproduce exactly what they produce alone.
+  // Shared inputs (base model, fault models, dataset) are read-only; every
+  // mutable structure is per-farm.
+  auto& f = fixture();
+  const FaultSpec spec = stuck_at(0.05);
+  const analog::FaultList list = spec.list();
+  analog::RramDeviceParams dev = quiet_dev();
+  dev.program_sigma = 0.1f;
+  dev.readout.read_sigma = 0.05f;
+  constexpr int64_t kJobs = 8;
+  auto eval_job = [&](int64_t i) {
+    runtime::ChipFarmOptions fo;
+    fo.instances = 2;
+    fo.seed = 100 + static_cast<uint64_t>(i);
+    fo.max_live = 1;
+    runtime::ChipFarm farm(f.model, dev, fo, list);
+    runtime::McEngineOptions eo;
+    eo.batch_size = 32;
+    return runtime::McEngine(farm, eo).accuracy(f.ds.test).samples;
+  };
+  std::vector<std::vector<double>> alone(kJobs), together(kJobs);
+  for (int64_t i = 0; i < kJobs; ++i) alone[static_cast<size_t>(i)] = eval_job(i);
+  runtime::parallel_indexed(kJobs, 4, [&](int64_t i) {
+    together[static_cast<size_t>(i)] = eval_job(i);
+  });
+  for (int64_t i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(alone[static_cast<size_t>(i)].size(),
+              together[static_cast<size_t>(i)].size());
+    for (size_t s = 0; s < alone[static_cast<size_t>(i)].size(); ++s)
+      EXPECT_EQ(alone[static_cast<size_t>(i)][s],
+                together[static_cast<size_t>(i)][s])
+          << "farm " << i << " chip " << s;
+  }
+}
+
+TEST(Campaign, RejectsNegativeParallelScenarios) {
+  CampaignOptions co;
+  co.parallel_scenarios = -1;
+  EXPECT_THROW(Campaign{co}, std::invalid_argument);
 }
 
 TEST(Campaign, ConfigFileBuildsTheGrid) {

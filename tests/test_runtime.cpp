@@ -1,8 +1,11 @@
 // The batched/parallel inference runtime: ChipFarm determinism, McEngine
 // thread-count invariance, batched crossbar execution equivalence, the
-// per-clone read-noise streams, and the micro-batching InferenceServer.
+// per-clone read-noise streams, the indexed scenario scheduler, and the
+// micro-batching InferenceServer.
+#include <atomic>
 #include <cmath>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -15,7 +18,9 @@
 #include "runtime/chip_farm.h"
 #include "runtime/inference_server.h"
 #include "runtime/mc_engine.h"
+#include "runtime/scheduler.h"
 #include "tensor/ops.h"
+#include "tensor/threadpool.h"
 
 namespace cn::runtime {
 namespace {
@@ -48,6 +53,79 @@ struct Fixture {
 Fixture& fixture() {
   static Fixture f;
   return f;
+}
+
+// ---------- indexed scenario scheduler ----------
+
+TEST(Scheduler, EffectiveConcurrencyResolvesAutoAndClamps) {
+  const int64_t width = static_cast<int64_t>(ThreadPool::global().size());
+  EXPECT_EQ(effective_concurrency(0, 100), std::min<int64_t>(width, 100));
+  EXPECT_EQ(effective_concurrency(-3, 100), std::min<int64_t>(width, 100));
+  EXPECT_EQ(effective_concurrency(8, 3), 3);   // never more workers than jobs
+  EXPECT_EQ(effective_concurrency(1, 100), 1);
+  EXPECT_EQ(effective_concurrency(4, 0), 1);   // degenerate ranges stay sane
+}
+
+TEST(Scheduler, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kJobs = 200;
+  std::vector<std::atomic<int>> hits(kJobs);
+  parallel_indexed(kJobs, 4, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ConcurrencyOneRunsInIndexOrderOnCaller) {
+  const std::thread::id me = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  parallel_indexed(10, 1, [&](int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ProvisionsWorkersBeyondTheSharedPool) {
+  // Requesting more concurrency than the shared pool is wide must still put
+  // that many jobs in flight at once (a dedicated pool is spun up): with 4
+  // workers and 4 jobs that block on a shared barrier, the barrier only
+  // clears if all 4 genuinely run concurrently.
+  const int64_t conc =
+      static_cast<int64_t>(ThreadPool::global().size()) + 3;
+  std::atomic<int64_t> arrived{0};
+  parallel_indexed(conc, conc, [&](int64_t) {
+    arrived.fetch_add(1);
+    // Barrier: every job waits until all have started.
+    while (arrived.load() < conc) std::this_thread::yield();
+  });
+  EXPECT_EQ(arrived.load(), conc);
+}
+
+TEST(Scheduler, PropagatesTheFirstJobException) {
+  // A throwing job must surface on the calling thread (not terminate a
+  // worker), and the scheduler must stay fully usable afterwards. How many
+  // queued jobs run before the failure is seen is timing-dependent, so only
+  // propagation and recovery are asserted.
+  EXPECT_THROW(parallel_indexed(16, 4,
+                                [&](int64_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::atomic<int64_t> ran{0};
+  parallel_indexed(16, 4, [&](int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(Scheduler, NestedCallInsideAPoolWorkerRunsSequentially) {
+  // A scheduler job that itself schedules must degrade to a serial loop
+  // (its thread already lives inside a parallel region) instead of
+  // deadlocking or spawning useless pools.
+  std::atomic<int64_t> total{0};
+  parallel_indexed(4, 4, [&](int64_t) {
+    parallel_indexed(8, 4, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
 }
 
 // ---------- batched crossbar execution ----------

@@ -80,18 +80,38 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
   EXPECT_EQ(total.load(), 800);
 }
 
-TEST(ThreadPool, NestedCallOnDifferentPoolStillDispatches) {
+TEST(ThreadPool, CrossPoolNestedCallRunsInline) {
+  // A worker of one pool calling another pool's parallel_for runs inline
+  // too: dispatching would funnel every caller through the other pool's
+  // queue (and can deadlock once pools wait on each other). The campaign
+  // scenario scheduler relies on this — its workers own their scenario's
+  // inner loops instead of contending for the global pool.
   ThreadPool outer(2);
   ThreadPool inner(2);
   std::atomic<int64_t> total{0};
+  std::atomic<int> escaped{0};  // inner chunks run on a different thread
   outer.parallel_for(0, 4, [&](int64_t lo, int64_t hi) {
+    const std::thread::id me = std::this_thread::get_id();
     for (int64_t i = lo; i < hi; ++i) {
       inner.parallel_for(0, 50, [&](int64_t ilo, int64_t ihi) {
+        if (std::this_thread::get_id() != me) escaped.fetch_add(1);
         total.fetch_add(ihi - ilo);
       });
     }
   });
   EXPECT_EQ(total.load(), 200);
+  EXPECT_EQ(escaped.load(), 0);
+}
+
+TEST(ThreadPool, CurrentThreadInPoolReflectsWorkerContext) {
+  EXPECT_FALSE(ThreadPool::current_thread_in_pool());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.parallel_for(0, 2, [&](int64_t, int64_t) {
+    if (ThreadPool::current_thread_in_pool()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 2);
+  EXPECT_FALSE(ThreadPool::current_thread_in_pool());
 }
 
 }  // namespace
