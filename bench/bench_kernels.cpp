@@ -1,10 +1,14 @@
 // google-benchmark microbenchmarks for the compute kernels underneath the
-// experiments: matmul, conv2d forward/backward, im2col, crossbar MVM, and
+// experiments: matmul, conv2d forward/backward, im2col, crossbar MVM, the
+// batched crossbar matmul on every registered execution target, and
 // Monte-Carlo perturbation sampling.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "analog/crossbar.h"
 #include "analog/variation.h"
+#include "exec/target.h"
 #include "nn/conv2d.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
@@ -89,6 +93,28 @@ void BM_CrossbarMatvec(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarMatvec)->Arg(128)->Arg(512);
 
+// The batched crossbar matmul on one explicit execution target; registered
+// per target in main (targets are enumerated from the registry at startup,
+// so a new register_target call grows the bench without edits here).
+void BM_CrossbarMatmulTarget(benchmark::State& state, const exec::Target* t) {
+  const int64_t n = state.range(0), batch = 32;
+  Rng rng(7);
+  Tensor w({n, n});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  analog::RramDeviceParams dev;
+  dev.program_sigma = 0.1f;
+  Rng prog(8);
+  analog::CrossbarArray xbar(w, dev, prog, /*tile=*/128, nullptr, nullptr, t);
+  Tensor x({batch, n});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor y = xbar.matmul(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  // 4 flops per cell per item (differential pair: 2 products + 2 adds).
+  state.SetItemsProcessed(state.iterations() * 4 * n * n * batch);
+}
+
 void BM_VariationSampling(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(6);
@@ -105,4 +131,20 @@ BENCHMARK(BM_VariationSampling)->Arg(128)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the per-target crossbar legs are
+// registered dynamically from the execution-target registry.
+int main(int argc, char** argv) {
+  for (const cn::exec::Target* t : cn::exec::registered_targets()) {
+    if (!t->available()) continue;
+    const std::string name = "BM_CrossbarMatmul/" + t->name();
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [t](benchmark::State& s) { BM_CrossbarMatmulTarget(s, t); })
+        ->Arg(128)
+        ->Arg(512);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,12 +12,15 @@
 //
 // Writes BENCH_runtime.json (see bench::BenchJson). `--quick` shrinks the
 // workload for CI smoke runs.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <thread>
 
 #include "common.h"
+#include "exec/target.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
 #include "runtime/chip_farm.h"
@@ -180,6 +183,90 @@ int main(int argc, char** argv) {
     json.set("server_throughput_rps", st.throughput_rps());
     json.set("server_avg_batch", st.avg_batch());
     json.set("server_avg_latency_us", st.avg_latency_us());
+  }
+
+  // ---------- per-execution-target kernel legs ----------
+  // One square array per registered target (identical conductances via a
+  // re-seeded programming rng), the batched matmul timed per target:
+  // GFLOP/s, bit-exactness vs the scalar matvec reference, and the worst
+  // relative error for approximate targets. Written to BENCH_targets.json
+  // so the per-target perf/parity trajectory is machine-readable.
+  {
+    const int64_t n = quick ? 256 : 512;
+    const int64_t batch = quick ? 32 : 64;
+    const int reps = quick ? 3 : 5;
+    Rng wrng(777);
+    Tensor w({n, n});
+    wrng.fill_normal(w, 0.0f, 0.5f);
+    Tensor x({batch, n});
+    wrng.fill_normal(x, 0.0f, 1.0f);
+    analog::RramDeviceParams tdev;
+    tdev.g_min = 1e-6f;
+    tdev.g_max = 1e-4f;
+    tdev.program_sigma = 0.1f;
+
+    // Scalar per-column reference (target-independent), computed once.
+    Rng prog_ref(778);
+    analog::CrossbarArray ref_arr(w, tdev, prog_ref, /*tile=*/n);
+    std::vector<Tensor> ref;
+    ref.reserve(static_cast<size_t>(batch));
+    Tensor xi({n});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::copy(x.data() + b * n, x.data() + (b + 1) * n, xi.data());
+      ref.push_back(ref_arr.matvec(xi));
+    }
+
+    bench::BenchJson tj("targets");
+    tj.set("quick", quick);
+    tj.set("n", n);
+    tj.set("batch", batch);
+    std::printf("  [targets] %lldx%lld array, batch %lld:\n",
+                static_cast<long long>(n), static_cast<long long>(n),
+                static_cast<long long>(batch));
+    for (const exec::Target* t : exec::registered_targets()) {
+      if (!t->available()) continue;
+      Rng prog(778);  // same conductances as the reference array
+      analog::CrossbarArray arr(w, tdev, prog, /*tile=*/n, nullptr, nullptr, t);
+      Tensor y = arr.matmul(x);  // warm-up + parity sample
+      t0 = Clock::now();
+      for (int r = 0; r < reps; ++r) {
+        Tensor yr = arr.matmul(x);
+        y = std::move(yr);
+      }
+      const double dt = seconds_since(t0) / reps;
+      // 4 flops per cell per item: two products and two adds across the
+      // differential pair.
+      const double gflops =
+          dt > 0 ? 4.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(batch) / dt / 1e9
+                 : 0.0;
+      bool exact = true;
+      double max_err = 0.0, max_abs = 0.0;
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t o = 0; o < n; ++o) {
+          const float yv = y[b * n + o];
+          const float rv = ref[static_cast<size_t>(b)][o];
+          if (yv != rv) exact = false;
+          max_err = std::max(max_err, std::abs(static_cast<double>(yv) - rv));
+          max_abs = std::max(max_abs, std::abs(static_cast<double>(rv)));
+        }
+      }
+      const double rel = max_abs > 0 ? max_err / max_abs : 0.0;
+      std::printf("    %-13s %8.2f GFLOP/s  bit-identical: %-3s  "
+                  "max rel err %.2e\n",
+                  t->name().c_str(), gflops, exact ? "yes" : "no", rel);
+      tj.set(t->name() + ".gflops", gflops);
+      tj.set(t->name() + ".bit_exact", exact);
+      tj.set(t->name() + ".max_rel_err", rel);
+      // A target that claims bit-exactness and misses it is a bench
+      // failure, same as the runtime/seed divergence check below.
+      if (t->bit_exact() && !exact) {
+        std::printf("FAIL: target %s claims bit-exactness but diverged\n",
+                    t->name().c_str());
+        return 1;
+      }
+    }
+    tj.write();
   }
 
   json.set("wall_s", t_program + t_seq + t_runtime + t_factor_seq + t_factor_rt);

@@ -13,7 +13,11 @@
 // Subcommand:
 //   correctnet_cli faults [--config PATH] [--out PATH] [--chips N]
 //                         [--epochs N] [--comp-epochs N] [--train N] [--test N]
-//                         [--sigma S]
+//                         [--sigma S] [--target NAME]
+//
+// `--list-targets` prints the execution-target registry (src/exec/target.h);
+// `--target NAME` selects the target crossbar farms execute with (main
+// command: process default; faults subcommand: the campaign `target` key).
 //
 // Trains the CorrectNet pipeline, then drives a faultsim::Campaign — device
 // faults (stuck-at cells, conductance drift, IR drop, temperature) swept
@@ -30,6 +34,7 @@
 
 #include "core/pipeline.h"
 #include "data/synthetic.h"
+#include "exec/target.h"
 #include "faultsim/campaign.h"
 #include "models/lenet.h"
 #include "models/vgg.h"
@@ -54,6 +59,7 @@ struct Args {
   int64_t train = 2500;
   int64_t test = 600;
   std::string save_prefix;
+  std::string target;  // crossbar execution target (process default override)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -61,9 +67,33 @@ struct Args {
                "usage: %s [--net lenet|vgg] [--dataset digits|objects10|objects100]\n"
                "          [--sigma S] [--epochs N] [--comp-epochs N] [--beta B]\n"
                "          [--lambda-min L] [--warmup N] [--ratio R] [--max-layers N]\n"
-               "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n",
-               argv0);
+               "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n"
+               "          [--target NAME]\n"
+               "       %s --list-targets\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+// Sets the process-wide default execution target (everything that programs
+// crossbars after this — campaign farms, demo runs — lowers through it).
+void apply_target(const char* argv0, const std::string& name) {
+  try {
+    cn::exec::set_default_target(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+    std::exit(2);
+  }
+}
+
+int list_targets() {
+  const std::string def = cn::exec::default_target().name();
+  std::printf("registered execution targets (* = default):\n");
+  for (const cn::exec::Target* t : cn::exec::registered_targets())
+    std::printf("%c %-14s %-12s %-10s %s\n", t->name() == def ? '*' : ' ',
+                t->name().c_str(), t->available() ? "available" : "unavailable",
+                t->bit_exact() ? "bit-exact" : "approx",
+                t->description().c_str());
+  return 0;
 }
 
 Args parse(int argc, char** argv) {
@@ -89,6 +119,7 @@ Args parse(int argc, char** argv) {
     else if (k == "--train") a.train = std::atoll(next());
     else if (k == "--test") a.test = std::atoll(next());
     else if (k == "--save-prefix") a.save_prefix = next();
+    else if (k == "--target") a.target = next();
     else usage(argv[0]);
   }
   return a;
@@ -98,6 +129,7 @@ Args parse(int argc, char** argv) {
 
 struct FaultArgs {
   std::string config;  // key=value campaign file; empty = built-in quick grid
+  std::string target;  // overrides the config's `target` key
   std::string out = "faultsim_report.json";
   int64_t chips = 0;  // >0 overrides the config's chip count
   bool remap = false; // force the fault-aware remapping axis on
@@ -114,7 +146,7 @@ struct FaultArgs {
   std::fprintf(stderr,
                "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
-               "          [--sigma S] [--remap] [--parallel N]\n",
+               "          [--sigma S] [--remap] [--parallel N] [--target NAME]\n",
                argv0);
   std::exit(2);
 }
@@ -128,6 +160,7 @@ FaultArgs parse_faults(int argc, char** argv) {
       return argv[++i];
     };
     if (k == "--config") a.config = next();
+    else if (k == "--target") a.target = next();
     else if (k == "--out") a.out = next();
     else if (k == "--chips") a.chips = std::atoll(next());
     else if (k == "--remap") a.remap = true;
@@ -168,6 +201,9 @@ int run_faults(int argc, char** argv) {
               : core::KeyValueConfig::from_file(args.config);
       if (args.chips > 0) cfg.set("chips", std::to_string(args.chips));
       if (args.remap) cfg.set("remap", "1");
+      // Validated like the config-file twin: the Campaign ctor resolves the
+      // name against the exec registry and throws on a typo.
+      if (!args.target.empty()) cfg.set("target", args.target);
       // Passed through unvalidated on purpose: a bad value (e.g. negative)
       // must throw from the Campaign ctor like its config-file twin would,
       // not be silently dropped here.
@@ -207,11 +243,13 @@ int run_faults(int argc, char** argv) {
   };
 
   std::printf("\nrunning fault campaign: %lld scenarios (%lld fault specs x %lld "
-              "protection variants%s), concurrency %lld\n",
+              "protection variants%s), target %s, concurrency %lld\n",
               static_cast<long long>(campaign.num_scenarios()),
               static_cast<long long>(campaign.num_faults()),
               static_cast<long long>(campaign.num_models()),
               campaign.remap_enabled() ? " x 2 remap variants" : "",
+              campaign.target().empty() ? exec::default_target().name().c_str()
+                                        : campaign.target().c_str(),
               static_cast<long long>(runtime::effective_concurrency(
                   campaign.parallel_scenarios(), campaign.num_scenarios())));
   const faultsim::CampaignReport report = campaign.run(ds.test);
@@ -273,8 +311,10 @@ int run_faults(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace cn;
+  if (argc > 1 && std::strcmp(argv[1], "--list-targets") == 0) return list_targets();
   if (argc > 1 && std::strcmp(argv[1], "faults") == 0) return run_faults(argc, argv);
   const Args args = parse(argc, argv);
+  if (!args.target.empty()) apply_target(argv[0], args.target);
 
   // Dataset.
   data::SplitDataset ds;

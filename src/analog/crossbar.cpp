@@ -1,18 +1,35 @@
 #include "analog/crossbar.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/target.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
 
 namespace cn::analog {
 
+// Shim over the simd family's level selection in the execution-target
+// registry (the kernels themselves live in exec/simd_target.cpp).
+SimdLevel simd_max_level() {
+  return static_cast<SimdLevel>(exec::simd::max_level());
+}
+
+bool force_simd_level(SimdLevel level) {
+  return exec::simd::force_level(static_cast<int>(level));
+}
+
+void reset_simd_level() { exec::simd::reset_level(); }
+
+SimdLevel current_simd_level() {
+  return static_cast<SimdLevel>(exec::simd::current_level());
+}
+
 CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev,
-                           Rng& rng, bool defer_double_sync)
-    : rows_(w.dim(0)), cols_(w.dim(1)), dev_(dev) {
+                           Rng& rng, bool defer_lowering, const exec::Target* target)
+    : rows_(w.dim(0)), cols_(w.dim(1)), dev_(dev),
+      target_(target ? target : &exec::default_target()) {
   if (w.rank() != 2) throw std::invalid_argument("CrossbarTile: weight must be rank-2");
   if (dev.g_max <= dev.g_min)
     throw std::invalid_argument("CrossbarTile: g_max must exceed g_min");
@@ -41,17 +58,23 @@ CrossbarTile::CrossbarTile(const Tensor& w, float w_absmax, const RramDevicePara
     g_pos_[static_cast<size_t>(i)] = gp;
     g_neg_[static_cast<size_t>(i)] = gn;
   }
-  if (!defer_double_sync) sync_double_copies();
+  if (!defer_lowering) lower();
 }
 
-void CrossbarTile::sync_double_copies() {
-  const int64_t n = rows_ * cols_;
-  gd_pos_.assign(static_cast<size_t>(n) + 8, 0.0);
-  gd_neg_.assign(static_cast<size_t>(n) + 8, 0.0);
-  for (int64_t i = 0; i < n; ++i) {
-    gd_pos_[static_cast<size_t>(i)] = static_cast<double>(g_pos_[static_cast<size_t>(i)]);
-    gd_neg_[static_cast<size_t>(i)] = static_cast<double>(g_neg_[static_cast<size_t>(i)]);
-  }
+// Out-of-line so exec::TileExec stays an incomplete type in the header.
+CrossbarTile::CrossbarTile(CrossbarTile&&) noexcept = default;
+CrossbarTile& CrossbarTile::operator=(CrossbarTile&&) noexcept = default;
+CrossbarTile::~CrossbarTile() = default;
+
+void CrossbarTile::lower() {
+  exec::TileView view;
+  view.g_pos = g_pos_.data();
+  view.g_neg = g_neg_.data();
+  view.rows = rows_;
+  view.cols = cols_;
+  view.g_min = dev_.g_min;
+  view.g_max = dev_.g_max;
+  exec_ = target_->lower(view);
 }
 
 void CrossbarTile::apply_faults(const FaultList& faults,
@@ -61,7 +84,7 @@ void CrossbarTile::apply_faults(const FaultList& faults,
   if (!remap || !remap->active()) {
     for (const FaultModel* f : faults)
       f->apply(g_pos_.data(), g_neg_.data(), ctx, dev_, rng);
-    sync_double_copies();
+    lower();
     return;
   }
   // Repairs run per model, immediately after that model's defect map is
@@ -93,7 +116,7 @@ void CrossbarTile::apply_faults(const FaultList& faults,
     budget.spare_cols -= s.spare_cols_used;
     if (stats) *stats += s;
   }
-  sync_double_copies();
+  lower();
 }
 
 void CrossbarTile::accumulate_matvec(const float* x, float* y, Rng* read_rng) const {
@@ -137,156 +160,20 @@ void CrossbarTile::finish_row(float* currents, float* y, Rng* read_rng) const {
   for (int64_t c = 0; c < cols_; ++c) y[c] += scale_ * currents[c];
 }
 
-namespace {
-
-// Register-blocked current accumulation for RB input rows at once: one pass
-// over the tile's conductances serves RB rows, and per-(row, column)
-// accumulators keep the exact wordline summation order of the scalar path.
-// Adding a zero-voltage term is a bitwise no-op for these sums (products are
-// +/-normal or signed zero; round-to-nearest never flips an accumulator to
-// -0), so the scalar path's v == 0 skip does not change results. The g
-// arrays carry 8 doubles of end padding: lanes past `cols` compute garbage
-// that is simply not written back.
-// CONTIG: the RB input items are contiguous at each wordline (column-major
-// batch, x_item_stride == 1), letting the voltage loads vectorize.
-template <int RB, bool CONTIG>
-[[gnu::always_inline]] inline void block_currents_impl(
-    const double* gp, const double* gn, int64_t rows, int64_t cols,
-    const float* x, int64_t xis, int64_t xws, float* cur, int64_t ldcur) {
-  for (int64_t c0 = 0; c0 < cols; c0 += 8) {
-    double accp[RB][8] = {}, accn[RB][8] = {};
-    for (int64_t r = 0; r < rows; ++r) {
-      const double* gpr = gp + r * cols + c0;
-      const double* gnr = gn + r * cols + c0;
-      double v[RB];
-      if (CONTIG) {
-        const float* xr = x + r * xws;
-        for (int i = 0; i < RB; ++i) v[i] = static_cast<double>(xr[i]);
-      } else {
-        for (int i = 0; i < RB; ++i)
-          v[i] = static_cast<double>(x[i * xis + r * xws]);
-      }
-      for (int c = 0; c < 8; ++c) {
-        const double gpc = gpr[c], gnc = gnr[c];
-        for (int i = 0; i < RB; ++i) {
-          accp[i][c] += v[i] * gpc;
-          accn[i][c] += v[i] * gnc;
-        }
-      }
-    }
-    const int64_t cc = std::min<int64_t>(8, cols - c0);
-    for (int i = 0; i < RB; ++i)
-      for (int64_t c = 0; c < cc; ++c)
-        cur[i * ldcur + c0 + c] = static_cast<float>(accp[i][c] - accn[i][c]);
-  }
-}
-
-template <int RB, bool CONTIG>
-void block_currents_generic(const double* gp, const double* gn, int64_t rows,
-                            int64_t cols, const float* x, int64_t xis, int64_t xws,
-                            float* cur, int64_t ldcur) {
-  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
-}
-
-using BlockKernel = void (*)(const double*, const double*, int64_t, int64_t,
-                             const float*, int64_t, int64_t, float*, int64_t);
-
-// Wider SIMD variants, dispatched once at runtime. Contraction must stay off
-// (separate vmulpd/vaddpd): a fused multiply-add would round differently
-// from the scalar path and break the bit-exact matmul == matvec guarantee.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-template <int RB, bool CONTIG>
-__attribute__((target("avx2"), optimize("fp-contract=off"))) void
-block_currents_avx2(const double* gp, const double* gn, int64_t rows, int64_t cols,
-                    const float* x, int64_t xis, int64_t xws, float* cur,
-                    int64_t ldcur) {
-  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
-}
-
-template <int RB, bool CONTIG>
-__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
-block_currents_avx512(const double* gp, const double* gn, int64_t rows,
-                      int64_t cols, const float* x, int64_t xis, int64_t xws,
-                      float* cur, int64_t ldcur) {
-  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
-}
-
-#define CN_HAVE_X86_TARGETS 1
-#else
-#define CN_HAVE_X86_TARGETS 0
-#endif
-
-// One kernel table per ISA level (level-major: generic, avx2, avx512f), so
-// dispatch can be pinned per level for the SIMD-parity tests. Builds without
-// x86 target attributes alias every level to the generic kernels.
-#define CN_KERNEL_LEVEL(fn)                                                   \
-  {{fn<1, false>, fn<2, false>, fn<3, false>, fn<4, false>, fn<5, false>,     \
-    fn<6, false>, fn<7, false>, fn<8, false>},                                \
-   {fn<1, true>, fn<2, true>, fn<3, true>, fn<4, true>, fn<5, true>,          \
-    fn<6, true>, fn<7, true>, fn<8, true>}}
-
-const BlockKernel kKernelTable[3][2][8] = {
-    CN_KERNEL_LEVEL(block_currents_generic),
-#if CN_HAVE_X86_TARGETS
-    CN_KERNEL_LEVEL(block_currents_avx2),
-    CN_KERNEL_LEVEL(block_currents_avx512),
-#else
-    CN_KERNEL_LEVEL(block_currents_generic),
-    CN_KERNEL_LEVEL(block_currents_generic),
-#endif
-};
-#undef CN_KERNEL_LEVEL
-
-SimdLevel detect_simd_level() {
-#if CN_HAVE_X86_TARGETS
-  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512f;
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
-#endif
-  return SimdLevel::kGeneric;
-}
-
-// -1 = auto (host detection); otherwise a pinned SimdLevel.
-std::atomic<int> g_forced_simd{-1};
-
-}  // namespace
-
-SimdLevel simd_max_level() {
-  static const SimdLevel max = detect_simd_level();
-  return max;
-}
-
-bool force_simd_level(SimdLevel level) {
-  if (static_cast<int>(level) < 0 || level > simd_max_level()) return false;
-  g_forced_simd.store(static_cast<int>(level), std::memory_order_relaxed);
-  return true;
-}
-
-void reset_simd_level() {
-  g_forced_simd.store(-1, std::memory_order_relaxed);
-}
-
-SimdLevel current_simd_level() {
-  const int forced = g_forced_simd.load(std::memory_order_relaxed);
-  return forced < 0 ? simd_max_level() : static_cast<SimdLevel>(forced);
-}
-
 void CrossbarTile::accumulate_rows(const float* x, int64_t nitems,
                                    int64_t x_item_stride, int64_t x_word_stride,
                                    float* y, int64_t ldy, Rng* const* row_rngs,
-                                   float* cur_scratch) const {
-  const SimdLevel level = current_simd_level();
-  const BlockKernel* kernels =
-      kKernelTable[static_cast<int>(level)][x_item_stride == 1 ? 1 : 0];
-  // AVX-512's 32 registers hold an 8-row accumulator block; narrower ISAs
-  // spill past 4 rows. Blocking width never changes results (items
-  // accumulate independently), only register pressure.
-  const int64_t row_block = level == SimdLevel::kAvx512f ? 8 : 4;
+                                   float* cur_scratch,
+                                   exec::Scratch& scratch) const {
+  // Item-blocking width never changes results (items accumulate
+  // independently), only register/cache pressure; clamp to the 8 current
+  // rows cur_scratch holds.
+  const int64_t row_block = std::min<int64_t>(8, exec_->row_block());
   int64_t done = 0;
   while (done < nitems) {
     const int64_t rb = std::min<int64_t>(row_block, nitems - done);
-    kernels[rb - 1](gd_pos_.data(), gd_neg_.data(), rows_, cols_,
-                    x + done * x_item_stride, x_item_stride, x_word_stride,
-                    cur_scratch, cols_);
+    exec_->currents(x + done * x_item_stride, rb, x_item_stride, x_word_stride,
+                    cur_scratch, cols_, scratch);
     for (int64_t i = 0; i < rb; ++i)
       finish_row(cur_scratch + i * cols_, y + (done + i) * ldy,
                  row_rngs ? row_rngs[done + i] : nullptr);
@@ -303,10 +190,14 @@ Tensor CrossbarTile::effective_weights() const {
 
 CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev,
                              Rng& rng, int64_t tile, const FaultList* faults,
-                             const remap::RemapParams* remap) {
+                             const remap::RemapParams* remap,
+                             const exec::Target* target) {
   if (w_out_in.rank() != 2)
     throw std::invalid_argument("CrossbarArray: weight must be rank-2");
   if (tile < 1) throw std::invalid_argument("CrossbarArray: tile must be positive");
+  // Resolve the default once: every tile of the array lowers through one
+  // target even if the process default changes mid-construction.
+  target_ = target ? target : &exec::default_target();
   dev_ = dev;
   // Nonideality models may rescale device parameters (e.g. temperature-
   // dependent sigmas) before anything is programmed.
@@ -327,7 +218,8 @@ CrossbarArray::CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev
           sub[r * cc + c] = w_in_out[(r0 + r) * out_ + (c0 + c)];
       const bool have_faults = faults && !faults->empty();
       tiles_.push_back(Placed{r0, c0, CrossbarTile(sub, absmax, dev_, rng,
-                                                   /*defer_double_sync=*/have_faults)});
+                                                   /*defer_lowering=*/have_faults,
+                                                   target_)});
       max_tile_cols_ = std::max(max_tile_cols_, cc);
       if (have_faults) {
         FaultModel::TileCtx ctx;
@@ -409,6 +301,7 @@ Tensor CrossbarArray::matmul_impl(const float* xd, int64_t n, bool colmajor,
   const int64_t ngroups = static_cast<int64_t>(col_groups_.size());
   parallel_for(0, ngroups * nblocks, [&](int64_t lo, int64_t hi) {
     std::vector<float> cur(static_cast<size_t>(8 * max_tile_cols_));
+    exec::Scratch scratch;
     std::vector<Rng> rngs;
     std::vector<Rng*> rng_ptrs;
     for (int64_t w = lo; w < hi; ++w) {
@@ -433,7 +326,7 @@ Tensor CrossbarArray::matmul_impl(const float* xd, int64_t n, bool colmajor,
         const int64_t xws = colmajor ? n : 1;
         p.tile.accumulate_rows(xt, r1 - r0, xis, xws,
                                y.data() + r0 * out_ + p.col0, out_, row_rngs,
-                               cur.data());
+                               cur.data(), scratch);
       }
     }
   }, 1);

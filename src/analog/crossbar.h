@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,17 +23,27 @@
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
 
+namespace cn::exec {
+class Target;
+class TileExec;
+struct Scratch;
+}  // namespace cn::exec
+
 namespace cn::analog {
 
-/// Runtime ISA levels of the batched crossbar kernels. The dispatcher picks
-/// the widest level the host supports; tests and benches can pin a lower one
-/// to prove all variants produce bit-identical results.
+/// Runtime ISA levels of the built-in simd kernel family. Since the batched
+/// path moved to the execution-target registry (src/exec/), this enum and
+/// the force/reset functions below are a thin shim over the "simd" family's
+/// level selection (exec::simd) — kept because the forced-dispatch parity
+/// tests and benches pin levels through it. Arrays lowered with a *pinned*
+/// target (e.g. "simd-avx2") ignore the forced level by design; the default
+/// "simd" target re-reads it on every call.
 enum class SimdLevel : int { kGeneric = 0, kAvx2 = 1, kAvx512f = 2 };
 
 /// Widest level this build + host can execute.
 SimdLevel simd_max_level();
 
-/// Pins batched-kernel dispatch to `level` for subsequent matmuls (the
+/// Pins the simd family's dispatch to `level` for subsequent matmuls (the
 /// forced-dispatch parity tests). Returns false — leaving dispatch unchanged
 /// — when the build or host cannot execute the level. Not synchronized with
 /// concurrently running matmuls; flip it only between calls.
@@ -41,7 +52,7 @@ bool force_simd_level(SimdLevel level);
 /// Restores runtime auto-selection.
 void reset_simd_level();
 
-/// The level the next batched matmul will dispatch to.
+/// The level the simd family's next auto-dispatched matmul will use.
 SimdLevel current_simd_level();
 
 /// Readout-periphery knobs of a crossbar tile: everything that perturbs or
@@ -131,12 +142,18 @@ class CrossbarTile {
  public:
   /// Programs the tile from `w` (rows=in, cols=out), scaling by max |w| of
   /// the whole array (`w_absmax`). Applies level quantization then
-  /// programming variation via `rng`. `defer_double_sync` skips building the
-  /// batched kernel's double-precision copies when an apply_faults call is
-  /// known to follow immediately (it rebuilds them) — callers who defer and
-  /// then never apply faults would leave the batched path reading zeros.
+  /// programming variation via `rng`. The batched path executes through
+  /// `target` (nullptr = exec::default_target()), which lowers the
+  /// programmed conductances once at construction. `defer_lowering` skips
+  /// that when an apply_faults call is known to follow immediately (it
+  /// re-lowers) — callers who defer and then never apply faults would leave
+  /// the batched path with no executable.
   CrossbarTile(const Tensor& w, float w_absmax, const RramDeviceParams& dev, Rng& rng,
-               bool defer_double_sync = false);
+               bool defer_lowering = false, const exec::Target* target = nullptr);
+
+  CrossbarTile(CrossbarTile&&) noexcept;
+  CrossbarTile& operator=(CrossbarTile&&) noexcept;
+  ~CrossbarTile();
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
@@ -168,40 +185,44 @@ class CrossbarTile {
   void accumulate_row(const float* x, float* y, Rng* read_rng, double* ip,
                       double* in_acc, float* currents) const;
 
-  /// Batched kernel: accumulates `nitems` input vectors into y rows (stride
-  /// ldy), register-blocked over items and bitline columns so conductance
-  /// loads amortize across the batch. Input element (item i, wordline r)
-  /// sits at x[i * x_item_stride + r * x_word_stride], which covers both
-  /// row-major batches (item_stride = ld, word_stride = 1) and column-major
-  /// ones like im2col outputs (item_stride = 1, word_stride = ld). Per-item
-  /// accumulation order over wordlines is unchanged, so each result row is
-  /// bit-identical to accumulate_matvec. `row_rngs` (nullable) holds one
-  /// read-noise stream per item; `cur_scratch` must hold >= 8 * cols()
-  /// floats.
+  /// Batched path: accumulates `nitems` input vectors into y rows (stride
+  /// ldy) through the tile's lowered execution target, item-blocked so
+  /// conductance loads amortize across the batch. Input element (item i,
+  /// wordline r) sits at x[i * x_item_stride + r * x_word_stride], which
+  /// covers both row-major batches (item_stride = ld, word_stride = 1) and
+  /// column-major ones like im2col outputs (item_stride = 1, word_stride =
+  /// ld). With a bit-exact target each result row is bit-identical to
+  /// accumulate_matvec (same per-column wordline accumulation order).
+  /// `row_rngs` (nullable) holds one read-noise stream per item;
+  /// `cur_scratch` must hold >= 8 * cols() floats, and `scratch` is the
+  /// calling worker's target scratch.
   void accumulate_rows(const float* x, int64_t nitems, int64_t x_item_stride,
                        int64_t x_word_stride, float* y, int64_t ldy,
-                       Rng* const* row_rngs, float* cur_scratch) const;
+                       Rng* const* row_rngs, float* cur_scratch,
+                       exec::Scratch& scratch) const;
 
   /// The effective (perturbed, quantized) weight matrix (rows=in, cols=out).
   Tensor effective_weights() const;
 
  private:
   /// Read noise + ADC + scaled accumulation of one current row into y;
-  /// shared tail of the scalar and batched kernels (exact parity).
+  /// shared tail of the scalar and batched paths (exact parity).
   void finish_row(float* currents, float* y, Rng* read_rng) const;
 
-  /// Rebuilds the padded double-precision copies from g_pos_/g_neg_ (after
-  /// programming or fault injection).
-  void sync_double_copies();
+  /// (Re-)lowers the programmed conductances through the execution target
+  /// (after programming or fault injection): the target may precompute
+  /// whatever representation it executes from (double copies, int8 planes).
+  void lower();
 
   int64_t rows_, cols_;
   float scale_;                 // weight per Siemens
   RramDeviceParams dev_;
   std::vector<float> g_pos_, g_neg_;  // programmed conductances, row-major
-  // Double-precision copies (8 lanes of end padding) for the batched kernel:
-  // float->double conversion is exact, so results match the float path bit
-  // for bit while the hot loop skips per-element converts.
-  std::vector<double> gd_pos_, gd_neg_;
+  const exec::Target* target_;  // registry-owned, process lifetime
+  // The lowered executable the batched path dispatches to. Borrows the g
+  // arrays' heap storage, which survives tile moves; any mutation of the
+  // arrays must re-lower.
+  std::unique_ptr<exec::TileExec> exec_;
 };
 
 /// A weight matrix W (out, in) split into tiles of at most `tile` rows/cols,
@@ -215,14 +236,20 @@ class CrossbarArray {
   /// pure function of its seed. Active `remap` params additionally run the
   /// fault-aware remapping controller on every tile (see
   /// CrossbarTile::apply_faults); the summed repair accounting is readable
-  /// via remap_stats().
+  /// via remap_stats(). The batched path executes through `target` (nullptr
+  /// = exec::default_target() at construction time); the scalar matvec
+  /// reference is target-independent.
   CrossbarArray(const Tensor& w_out_in, const RramDeviceParams& dev, Rng& rng,
                 int64_t tile = 128, const FaultList* faults = nullptr,
-                const remap::RemapParams* remap = nullptr);
+                const remap::RemapParams* remap = nullptr,
+                const exec::Target* target = nullptr);
 
   int64_t in_dim() const { return in_; }
   int64_t out_dim() const { return out_; }
   int64_t num_tiles() const { return static_cast<int64_t>(tiles_.size()); }
+
+  /// The execution target this array was lowered with.
+  const exec::Target& target() const { return *target_; }
 
   /// y = W_eff · x, with optional read noise if `read_rng` provided and the
   /// device has read_sigma > 0.
@@ -260,6 +287,7 @@ class CrossbarArray {
   };
   int64_t in_, out_;
   int64_t max_tile_cols_ = 0;
+  const exec::Target* target_ = nullptr;
   RramDeviceParams dev_;
   remap::RemapStats remap_stats_;
   std::vector<Placed> tiles_;

@@ -1,0 +1,239 @@
+// The simd kernel family: register-blocked current kernels at three ISA
+// levels (generic / avx2 / avx512f), previously private tables inside
+// analog/crossbar.cpp, now registered as execution targets.
+//
+// Registrations: "simd" auto-dispatches per call (widest supported level, or
+// the level forced via exec::simd::force_level — the analog::force_simd_level
+// shim), and one pinned target per level proves all variants bit-identical.
+//
+// This translation unit must stay contraction-free (see the avx attribute
+// and src/CMakeLists.txt): a fused multiply-add would round differently from
+// the scalar matvec path and break the bit-exactness contract.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "exec/builtin.h"
+#include "exec/target.h"
+
+namespace cn::exec {
+namespace {
+
+// Register-blocked current accumulation for RB input rows at once: one pass
+// over the tile's conductances serves RB rows, and per-(row, column)
+// accumulators keep the exact wordline summation order of the scalar path.
+// Adding a zero-voltage term is a bitwise no-op for these sums (products are
+// +/-normal or signed zero; round-to-nearest never flips an accumulator to
+// -0), so the scalar path's v == 0 skip does not change results. The g
+// arrays carry 8 doubles of end padding: lanes past `cols` compute garbage
+// that is simply not written back.
+// CONTIG: the RB input items are contiguous at each wordline (column-major
+// batch, x_item_stride == 1), letting the voltage loads vectorize.
+template <int RB, bool CONTIG>
+[[gnu::always_inline]] inline void block_currents_impl(
+    const double* gp, const double* gn, int64_t rows, int64_t cols,
+    const float* x, int64_t xis, int64_t xws, float* cur, int64_t ldcur) {
+  for (int64_t c0 = 0; c0 < cols; c0 += 8) {
+    double accp[RB][8] = {}, accn[RB][8] = {};
+    for (int64_t r = 0; r < rows; ++r) {
+      const double* gpr = gp + r * cols + c0;
+      const double* gnr = gn + r * cols + c0;
+      double v[RB];
+      if (CONTIG) {
+        const float* xr = x + r * xws;
+        for (int i = 0; i < RB; ++i) v[i] = static_cast<double>(xr[i]);
+      } else {
+        for (int i = 0; i < RB; ++i)
+          v[i] = static_cast<double>(x[i * xis + r * xws]);
+      }
+      for (int c = 0; c < 8; ++c) {
+        const double gpc = gpr[c], gnc = gnr[c];
+        for (int i = 0; i < RB; ++i) {
+          accp[i][c] += v[i] * gpc;
+          accn[i][c] += v[i] * gnc;
+        }
+      }
+    }
+    const int64_t cc = std::min<int64_t>(8, cols - c0);
+    for (int i = 0; i < RB; ++i)
+      for (int64_t c = 0; c < cc; ++c)
+        cur[i * ldcur + c0 + c] = static_cast<float>(accp[i][c] - accn[i][c]);
+  }
+}
+
+template <int RB, bool CONTIG>
+void block_currents_generic(const double* gp, const double* gn, int64_t rows,
+                            int64_t cols, const float* x, int64_t xis, int64_t xws,
+                            float* cur, int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+using BlockKernel = void (*)(const double*, const double*, int64_t, int64_t,
+                             const float*, int64_t, int64_t, float*, int64_t);
+
+// Wider SIMD variants, dispatched at runtime. Contraction must stay off
+// (separate vmulpd/vaddpd): a fused multiply-add would round differently
+// from the scalar path and break the bit-exact matmul == matvec guarantee.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+template <int RB, bool CONTIG>
+__attribute__((target("avx2"), optimize("fp-contract=off"))) void
+block_currents_avx2(const double* gp, const double* gn, int64_t rows, int64_t cols,
+                    const float* x, int64_t xis, int64_t xws, float* cur,
+                    int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+template <int RB, bool CONTIG>
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) void
+block_currents_avx512(const double* gp, const double* gn, int64_t rows,
+                      int64_t cols, const float* x, int64_t xis, int64_t xws,
+                      float* cur, int64_t ldcur) {
+  block_currents_impl<RB, CONTIG>(gp, gn, rows, cols, x, xis, xws, cur, ldcur);
+}
+
+#define CN_HAVE_X86_TARGETS 1
+#else
+#define CN_HAVE_X86_TARGETS 0
+#endif
+
+// One kernel table per ISA level (level-major: generic, avx2, avx512f), so
+// dispatch can be pinned per level for the parity targets. Builds without
+// x86 target attributes alias every level to the generic kernels.
+#define CN_KERNEL_LEVEL(fn)                                                   \
+  {{fn<1, false>, fn<2, false>, fn<3, false>, fn<4, false>, fn<5, false>,     \
+    fn<6, false>, fn<7, false>, fn<8, false>},                                \
+   {fn<1, true>, fn<2, true>, fn<3, true>, fn<4, true>, fn<5, true>,          \
+    fn<6, true>, fn<7, true>, fn<8, true>}}
+
+const BlockKernel kKernelTable[3][2][8] = {
+    CN_KERNEL_LEVEL(block_currents_generic),
+#if CN_HAVE_X86_TARGETS
+    CN_KERNEL_LEVEL(block_currents_avx2),
+    CN_KERNEL_LEVEL(block_currents_avx512),
+#else
+    CN_KERNEL_LEVEL(block_currents_generic),
+    CN_KERNEL_LEVEL(block_currents_generic),
+#endif
+};
+#undef CN_KERNEL_LEVEL
+
+int detect_level() {
+#if CN_HAVE_X86_TARGETS
+  if (__builtin_cpu_supports("avx512f")) return 2;
+  if (__builtin_cpu_supports("avx2")) return 1;
+#endif
+  return 0;
+}
+
+// -1 = auto (host detection); otherwise a pinned level.
+std::atomic<int> g_forced_level{-1};
+
+const char* level_name(int level) {
+  switch (level) {
+    case 1: return "avx2";
+    case 2: return "avx512f";
+    default: return "generic";
+  }
+}
+
+/// One lowered tile: padded double-precision conductance copies
+/// (float->double conversion is exact, so results match the scalar float
+/// path bit for bit while the hot loop skips per-element converts), executed
+/// at a pinned level, or at the per-call auto level when pinned < 0.
+class SimdTileExec final : public TileExec {
+ public:
+  SimdTileExec(const TileView& t, int pinned_level)
+      : rows_(t.rows), cols_(t.cols), pinned_(pinned_level) {
+    const size_t n = static_cast<size_t>(rows_ * cols_);
+    gd_pos_.assign(n + 8, 0.0);
+    gd_neg_.assign(n + 8, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      gd_pos_[i] = static_cast<double>(t.g_pos[i]);
+      gd_neg_[i] = static_cast<double>(t.g_neg[i]);
+    }
+  }
+
+  int64_t row_block() const override {
+    // AVX-512's 32 registers hold an 8-row accumulator block; narrower ISAs
+    // spill past 4 rows.
+    return effective_level() == 2 ? 8 : 4;
+  }
+
+  void currents(const float* x, int64_t nitems, int64_t xis, int64_t xws,
+                float* cur, int64_t ldcur, Scratch&) const override {
+    const BlockKernel* kernels =
+        kKernelTable[effective_level()][xis == 1 ? 1 : 0];
+    kernels[nitems - 1](gd_pos_.data(), gd_neg_.data(), rows_, cols_, x, xis,
+                        xws, cur, ldcur);
+  }
+
+ private:
+  int effective_level() const {
+    return pinned_ < 0 ? simd::current_level() : pinned_;
+  }
+
+  int64_t rows_, cols_;
+  int pinned_;
+  std::vector<double> gd_pos_, gd_neg_;
+};
+
+/// pinned_level < 0: the auto-dispatching "simd" family target.
+class SimdTarget final : public Target {
+ public:
+  explicit SimdTarget(int pinned_level) : pinned_(pinned_level) {}
+
+  std::string name() const override {
+    return pinned_ < 0 ? "simd" : std::string("simd-") + level_name(pinned_);
+  }
+  std::string description() const override {
+    if (pinned_ < 0)
+      return "register-blocked float kernels, widest supported ISA level "
+             "picked per call (default)";
+    return std::string("register-blocked float kernels pinned to the ") +
+           level_name(pinned_) + " ISA level";
+  }
+  bool available() const override { return pinned_ <= simd::max_level(); }
+  bool bit_exact() const override { return true; }
+  std::unique_ptr<TileExec> lower(const TileView& tile) const override {
+    return std::make_unique<SimdTileExec>(tile, pinned_);
+  }
+
+ private:
+  int pinned_;
+};
+
+}  // namespace
+
+namespace simd {
+
+int max_level() {
+  static const int max = detect_level();
+  return max;
+}
+
+bool force_level(int level) {
+  if (level < 0 || level > max_level()) return false;
+  g_forced_level.store(level, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_level() { g_forced_level.store(-1, std::memory_order_relaxed); }
+
+int current_level() {
+  const int forced = g_forced_level.load(std::memory_order_relaxed);
+  return forced < 0 ? max_level() : forced;
+}
+
+}  // namespace simd
+
+namespace detail {
+
+void append_simd_targets(std::vector<std::unique_ptr<Target>>& out) {
+  out.push_back(std::make_unique<SimdTarget>(-1));
+  for (int level = 0; level <= 2; ++level)
+    out.push_back(std::make_unique<SimdTarget>(level));
+}
+
+}  // namespace detail
+}  // namespace cn::exec

@@ -1,0 +1,162 @@
+// Pluggable execution targets for the batched crossbar path.
+//
+// A Target is one way of executing the hot bitline-current kernel: it lowers
+// a programmed tile (TileView) into a TileExec, an immutable executable the
+// batched matmul dispatches to. Targets self-describe (name, availability on
+// this host, whether results are bit-identical to the scalar matvec
+// reference) and live in a process-wide registry, so frontends can enumerate
+// them (`correctnet_cli --list-targets`), configs can select them by name
+// (the campaign `target` key), and new backends plug in without touching the
+// dispatch sites.
+//
+// Built-in registrations:
+//   simd          auto-dispatching kernel family (generic/avx2/avx512f picked
+//                 per call; responds to force_simd_level) — the default
+//   simd-generic  the portable kernels, pinned
+//   simd-avx2     AVX2 kernels, pinned (x86-64 GCC builds on AVX2 hosts)
+//   simd-avx512f  AVX-512F kernels, pinned
+//   int8          digital half quantized to int8 end-to-end (approximate;
+//                 documented accuracy bounds, see docs/ARCHITECTURE.md)
+//   huge-tile     cache-blocked row-streaming kernels for large tiles
+//                 (bit-exact)
+//
+// The lowering seam is deliberately narrow — conductance arrays in, current
+// rows out — so an offload target (GPU, accelerator API) can fill it without
+// the analog layer changing: implement Target::lower, call register_target.
+//
+// Bit-exactness contract: a Target reporting bit_exact() must produce
+// currents bit-identical to CrossbarTile's per-column scalar reference under
+// every fault model and remap setting (per-column accumulation in ascending
+// wordline order, double accumulators, no FMA contraction — see the parity
+// suites in tests/test_crossbar_exec.cpp). Approximate targets (int8) are
+// exempt but must stay inside their pinned regression tolerances.
+//
+// The process default target is, in increasing precedence: "simd", the
+// CORRECTNET_TARGET environment variable (validated at first registry use;
+// how CI forces a target under every test binary), set_default_target().
+// Already-constructed arrays keep the target they were lowered with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cn::exec {
+
+/// Read-only view of one programmed tile handed to Target::lower. The
+/// conductance arrays are row-major (rows x cols) differential pairs, valid
+/// for the lifetime of the returned TileExec (the owning CrossbarTile
+/// re-lowers whenever it mutates them).
+struct TileView {
+  const float* g_pos = nullptr;
+  const float* g_neg = nullptr;
+  int64_t rows = 0, cols = 0;
+  float g_min = 0.0f, g_max = 0.0f;  // device conductance range
+};
+
+/// Per-worker scratch buffers for TileExec::currents: grown on demand,
+/// reused across calls so the hot loop never allocates. One Scratch per
+/// thread — TileExec itself must stay stateless across calls.
+struct Scratch {
+  double* doubles(size_t n) {
+    if (d_.size() < n) d_.resize(n);
+    return d_.data();
+  }
+  int32_t* ints(size_t n) {
+    if (i32_.size() < n) i32_.resize(n);
+    return i32_.data();
+  }
+  int8_t* bytes(size_t n) {
+    if (i8_.size() < n) i8_.resize(n);
+    return i8_.data();
+  }
+
+ private:
+  std::vector<double> d_;
+  std::vector<int32_t> i32_;
+  std::vector<int8_t> i8_;
+};
+
+/// One tile lowered for execution. Implementations are immutable after
+/// construction and must be safe to call concurrently (matmul workers share
+/// one TileExec across row blocks; per-call state goes in Scratch).
+class TileExec {
+ public:
+  virtual ~TileExec() = default;
+
+  /// Differential bitline currents for a block of input vectors: input
+  /// element (item i, wordline r) sits at x[i * x_item_stride +
+  /// r * x_word_stride]; output current (item i, bitline c) is written to
+  /// cur[i * ldcur + c]. nitems never exceeds row_block(). The caller
+  /// applies read noise / ADC / weight scaling afterwards (shared periphery
+  /// tail — targets only compute raw current sums).
+  virtual void currents(const float* x, int64_t nitems, int64_t x_item_stride,
+                        int64_t x_word_stride, float* cur, int64_t ldcur,
+                        Scratch& scratch) const = 0;
+
+  /// Preferred item-block size for currents() calls, in [1, 8] (the caller's
+  /// current scratch holds 8 rows). Blocking never changes results, only
+  /// register/cache pressure.
+  virtual int64_t row_block() const = 0;
+};
+
+/// One execution strategy for the batched crossbar path.
+class Target {
+ public:
+  virtual ~Target() = default;
+
+  /// Registry key ([a-z0-9-], unique).
+  virtual std::string name() const = 0;
+  /// One-line human description for --list-targets.
+  virtual std::string description() const = 0;
+  /// Capability probe: can this build + host execute the target?
+  virtual bool available() const = 0;
+  /// Whether results are bit-identical to the scalar matvec reference (see
+  /// the contract in the header comment).
+  virtual bool bit_exact() const = 0;
+  /// Lowers one programmed tile into an executable. May throw when the tile
+  /// shape is outside the target's envelope (e.g. int8 accumulator range).
+  virtual std::unique_ptr<TileExec> lower(const TileView& tile) const = 0;
+};
+
+/// Registers a target under its name(). Throws std::invalid_argument on a
+/// duplicate or empty name. The registry owns the target for process
+/// lifetime; the returned pointer is stable. Thread-safe.
+const Target* register_target(std::unique_ptr<Target> target);
+
+/// Looks up a target by name; nullptr when unknown (the target may still be
+/// unavailable on this host — check available()).
+const Target* find_target(const std::string& name);
+
+/// Looks up a target by name, throwing std::runtime_error — with the list of
+/// registered names — when it is unknown or unavailable on this host.
+const Target& get_target(const std::string& name);
+
+/// Every registered target, in registration order (builtins first).
+std::vector<const Target*> registered_targets();
+
+/// The target newly constructed CrossbarArrays lower with when no explicit
+/// target is passed down (see precedence in the header comment).
+const Target& default_target();
+
+/// Overrides the process default (CLI --target). Throws like get_target.
+void set_default_target(const std::string& name);
+
+/// Drops the set_default_target override, restoring the startup default
+/// (CORRECTNET_TARGET when set, else "simd").
+void reset_default_target();
+
+/// Dispatch-level shim of the built-in simd family (0 = generic, 1 = avx2,
+/// 2 = avx512f): the "simd" target re-reads the forced level on every call,
+/// which is what keeps analog::force_simd_level working on arrays that were
+/// lowered before the flip. Pinned registrations (simd-generic/...) ignore
+/// it. Not synchronized with running matmuls; flip only between calls.
+namespace simd {
+int max_level();              // widest level this build + host can execute
+bool force_level(int level);  // false (no change) when unsupported
+void reset_level();           // restore auto-selection
+int current_level();          // level the next auto-dispatched call uses
+}  // namespace simd
+
+}  // namespace cn::exec

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "exec/target.h"
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
 #include "runtime/scheduler.h"
@@ -148,6 +149,9 @@ Campaign::Campaign(CampaignOptions opts) : opts_(opts) {
     throw std::invalid_argument(
         "Campaign: remap axis enabled but no repair moves configured "
         "(spare budget 0 and pair_swap off)");
+  // Resolve the execution target against the registry now: a typo'd name
+  // must fail before any training or scenario work, not at the first farm.
+  if (!opts_.target.empty()) exec::get_target(opts_.target);
 }
 
 void Campaign::add_model(const std::string& name, const nn::Sequential& model,
@@ -248,6 +252,7 @@ CampaignReport Campaign::run(const data::Dataset& test) {
     // functions of chip_seed(s), so the slot count never changes results.
     if (fo.max_live == 0 && conc > 1) fo.max_live = 1;
     fo.tile = opts_.tile;
+    fo.target = opts_.target;
     if (cell.remap_on) fo.remap = opts_.remap;
     runtime::ChipFarm farm(*me.model, opts_.dev, fo, lists[cell.fi]);
     runtime::McEngineOptions eo;
@@ -283,7 +288,7 @@ const std::vector<std::string>& campaign_config_keys() {
   // against it, so a key added here without documentation (or vice versa)
   // fails tier-1.
   static const std::vector<std::string> keys = {
-      "chips", "seed", "batch", "catastrophic", "tile", "control",
+      "chips", "seed", "batch", "catastrophic", "tile", "target", "control",
       "parallel_scenarios",
       "program_sigma", "read_sigma", "adc_bits", "dac_bits", "levels",
       "stuck.rates", "stuck.high_fraction", "drift.times", "drift.nu",
@@ -301,6 +306,7 @@ Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
   opts.seed = static_cast<uint64_t>(cfg.integer("seed", static_cast<int64_t>(opts.seed)));
   opts.batch_size = cfg.integer("batch", opts.batch_size);
   opts.tile = cfg.integer("tile", opts.tile);
+  opts.target = cfg.str("target", opts.target);
   opts.parallel_scenarios =
       cfg.integer("parallel_scenarios", opts.parallel_scenarios);
   opts.catastrophic_below = cfg.number("catastrophic", opts.catastrophic_below);

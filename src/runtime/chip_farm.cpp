@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/target.h"
 #include "tensor/threadpool.h"
 
 namespace cn::runtime {
@@ -13,6 +14,10 @@ ChipFarm::ChipFarm(const nn::Sequential& base, const analog::VariationModel& vm,
   if (opts.remap.enabled)
     throw std::invalid_argument(
         "ChipFarm: remapping needs crossbar mode (factor chips have no tiles)");
+  if (!opts.target.empty())
+    throw std::invalid_argument(
+        "ChipFarm: execution targets need crossbar mode (factor chips run "
+        "digitally)");
   init_slots();
 }
 
@@ -26,7 +31,15 @@ ChipFarm::ChipFarm(const nn::Sequential& base, const analog::RramDeviceParams& d
   if (opts.first_site != 0 && faults_.empty())
     throw std::invalid_argument(
         "ChipFarm: crossbar first_site needs a fault list (no factor sites)");
+  // Resolve eagerly: an unknown or unavailable target name must fail the
+  // farm's construction, not the first chip materialization minutes later.
+  if (!opts_.target.empty()) target_ = &exec::get_target(opts_.target);
   init_slots();
+}
+
+std::string ChipFarm::target_name() const {
+  if (!crossbar_) return "";
+  return target_ ? target_->name() : exec::default_target().name();
 }
 
 void ChipFarm::init_slots() {
@@ -76,7 +89,7 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
     const bool remapping = opts_.remap.active();
     sl.model = std::make_unique<nn::Sequential>(analog::program_to_crossbars(
         base_, dev_, rng, opts_.tile, faults_.empty() ? nullptr : &faults_,
-        opts_.first_site, remapping ? &opts_.remap : nullptr));
+        opts_.first_site, remapping ? &opts_.remap : nullptr, target_));
     analog::set_read_seeds(*sl.model, read_seed(s));
     if (remapping) {
       remap_stats_[static_cast<size_t>(s)] = analog::collect_remap_stats(*sl.model);

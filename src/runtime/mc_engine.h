@@ -6,6 +6,11 @@
 // ThreadPool::parallel_for). Because chip s is fully determined by
 // chip_seed(s) and results reduce in chip order, McResult.samples is
 // bit-identical for any thread count and any number of live slots.
+//
+// Execution-target selection rides the farm (ChipFarmOptions::target /
+// exec::default_target()): the engine evaluates whatever target the farm's
+// crossbar chips were lowered with, and bit-exact targets leave every
+// McResult byte-identical by the registry's parity contract.
 #pragma once
 
 #include "core/montecarlo.h"

@@ -1,0 +1,21 @@
+// Shared helper for suites that assert the bit-exactness contract between
+// the batched crossbar path and the scalar matvec reference. The contract is
+// a property of the execution target: under an approximate ambient target
+// (the CORRECTNET_TARGET=int8 CI matrix leg) those assertions are vacuously
+// out of force, so the tests skip — loudly, with the target named — instead
+// of failing. Per-target parity itself is proven with explicit targets in
+// tests/test_crossbar_exec.cpp, which runs identically under every leg.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "exec/target.h"
+
+#define CN_SKIP_UNLESS_BIT_EXACT_TARGET()                                  \
+  do {                                                                     \
+    const cn::exec::Target& cn_ambient = cn::exec::default_target();       \
+    if (!cn_ambient.bit_exact())                                           \
+      GTEST_SKIP() << "ambient execution target '" << cn_ambient.name()    \
+                   << "' is approximate; the bit-exactness contract this " \
+                      "test asserts is not in force";                      \
+  } while (0)

@@ -1,9 +1,13 @@
 // Crossbar-backed execution of whole models, the equivalence between the
 // device-level substrate and the fast factor-injection path, and the
-// bit-exactness of the batched matmul kernels vs the per-column matvec loop
-// across every periphery configuration and fault model.
+// per-execution-target parity of the batched matmul path vs the per-column
+// matvec loop across every periphery configuration and fault model: every
+// bit-exact target must match bit for bit, the int8 target must stay inside
+// its pinned tolerances.
 #include "analog/crossbar_layers.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -11,6 +15,7 @@
 #include "core/montecarlo.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "exec/target.h"
 #include "faultsim/fault_models.h"
 #include "models/lenet.h"
 #include "tensor/ops.h"
@@ -25,9 +30,13 @@ RramDeviceParams ideal() {
   return dev;
 }
 
-// Asserts y == matvec row by row for matmul and matmul_cols on a random
-// batch, for an array built from (dev, faults). Read noise stays off: with a
-// noise stream the two paths intentionally derive different per-row rngs.
+// For every registered bit-exact target this host can execute, builds an
+// array from (dev, faults) explicitly on that target and asserts
+// y == matvec row by row for matmul and matmul_cols on a random batch. Each
+// target's array is programmed from a freshly re-seeded rng, so all targets
+// execute identical conductances; matvec itself is target-independent. Read
+// noise stays off: with a noise stream the two paths intentionally derive
+// different per-row rngs.
 void expect_paths_bit_identical(const RramDeviceParams& dev,
                                 const FaultList* faults, uint64_t seed,
                                 const std::string& what) {
@@ -35,26 +44,35 @@ void expect_paths_bit_identical(const RramDeviceParams& dev,
   Rng rng(seed);
   Tensor w({kOut, kIn});
   rng.fill_normal(w, 0.0f, 0.5f);
-  Rng prog(seed + 1);
-  CrossbarArray xbar(w, dev, prog, /*tile=*/8, faults);  // multiple tiles both ways
   Tensor x({kBatch, kIn});
   rng.fill_normal(x, 0.0f, 1.0f);
-  Tensor y_batch = xbar.matmul(x);
   Tensor x_cm({kIn, kBatch});
   for (int64_t n = 0; n < kBatch; ++n)
     for (int64_t k = 0; k < kIn; ++k) x_cm[k * kBatch + n] = x[n * kIn + k];
-  Tensor y_cols = xbar.matmul_cols(x_cm);
-  Tensor xi({kIn});
-  for (int64_t n = 0; n < kBatch; ++n) {
-    std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
-    Tensor yi = xbar.matvec(xi);
-    for (int64_t o = 0; o < kOut; ++o) {
-      ASSERT_EQ(y_batch[n * kOut + o], yi[o])
-          << what << ": matmul row " << n << " col " << o;
-      ASSERT_EQ(y_cols[n * kOut + o], yi[o])
-          << what << ": matmul_cols row " << n << " col " << o;
+  int targets_run = 0;
+  for (const exec::Target* t : exec::registered_targets()) {
+    if (!t->bit_exact() || !t->available()) continue;
+    ++targets_run;
+    Rng prog(seed + 1);
+    CrossbarArray xbar(w, dev, prog, /*tile=*/8, faults, nullptr,
+                       t);  // multiple tiles both ways
+    Tensor y_batch = xbar.matmul(x);
+    Tensor y_cols = xbar.matmul_cols(x_cm);
+    Tensor xi({kIn});
+    for (int64_t n = 0; n < kBatch; ++n) {
+      std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
+      Tensor yi = xbar.matvec(xi);
+      for (int64_t o = 0; o < kOut; ++o) {
+        ASSERT_EQ(y_batch[n * kOut + o], yi[o])
+            << what << " [" << t->name() << "]: matmul row " << n << " col " << o;
+        ASSERT_EQ(y_cols[n * kOut + o], yi[o])
+            << what << " [" << t->name() << "]: matmul_cols row " << n << " col "
+            << o;
+      }
     }
   }
+  // simd, simd-generic and huge-tile are always executable.
+  ASSERT_GE(targets_run, 3) << what;
 }
 
 TEST(CrossbarExec, PeripheryCombosKeepBatchedAndMatvecBitIdentical) {
@@ -138,7 +156,10 @@ TEST(CrossbarExec, ForcedSimdDispatchLevelsAreBitIdentical) {
   Tensor w({kOut, kIn});
   rng.fill_normal(w, 0.0f, 0.5f);
   Rng prog(401);
-  CrossbarArray xbar(w, dev, prog, /*tile=*/8);
+  // Explicitly on the auto "simd" target: forcing a dispatch level is a simd
+  // family knob, and the test must hold under any ambient default target.
+  CrossbarArray xbar(w, dev, prog, /*tile=*/8, nullptr, nullptr,
+                     exec::find_target("simd"));
   Tensor x({kBatch, kIn});
   rng.fill_normal(x, 0.0f, 1.0f);
   Tensor x_cm({kIn, kBatch});
@@ -181,6 +202,88 @@ TEST(CrossbarExec, ForcedSimdDispatchLevelsAreBitIdentical) {
   EXPECT_EQ(current_simd_level(), simd_max_level());
 }
 
+TEST(CrossbarExec, HugeTileTargetIsBitExactAcrossColumnChunks) {
+  // The cache-blocked target walks bitlines in 1024-column chunks; a tile
+  // wider than one chunk must still reproduce the scalar reference bit for
+  // bit (per-column accumulation order is chunk-invariant).
+  RramDeviceParams dev = ideal();
+  dev.program_sigma = 0.2f;
+  dev.readout.adc_bits = 8;
+  constexpr int64_t kIn = 40, kOut = 1100, kBatch = 5;  // cols span 2 chunks
+  Rng rng(500);
+  Tensor w({kOut, kIn});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  Rng prog(501);
+  CrossbarArray xbar(w, dev, prog, /*tile=*/2048, nullptr, nullptr,
+                     &exec::get_target("huge-tile"));
+  Tensor x({kBatch, kIn});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const Tensor y_batch = xbar.matmul(x);
+  Tensor xi({kIn});
+  for (int64_t n = 0; n < kBatch; ++n) {
+    std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
+    const Tensor yi = xbar.matvec(xi);
+    for (int64_t o = 0; o < kOut; ++o)
+      ASSERT_EQ(y_batch[n * kOut + o], yi[o]) << n << "," << o;
+  }
+}
+
+// Max |y_int8 - y_ref| over the batch, relative to max |y_ref|, between an
+// int8-target array and its own scalar float matvec (identical
+// conductances).
+double int8_max_rel_err(const RramDeviceParams& dev, uint64_t seed) {
+  constexpr int64_t kIn = 23, kOut = 11, kBatch = 6;
+  Rng rng(seed);
+  Tensor w({kOut, kIn});
+  rng.fill_normal(w, 0.0f, 0.5f);
+  Tensor x({kBatch, kIn});
+  rng.fill_normal(x, 0.0f, 1.0f);
+  Rng prog(seed + 1);
+  CrossbarArray xbar(w, dev, prog, /*tile=*/8, nullptr, nullptr,
+                     &exec::get_target("int8"));
+  const Tensor y = xbar.matmul(x);
+  double max_err = 0.0, max_ref = 0.0;
+  Tensor xi({kIn});
+  for (int64_t n = 0; n < kBatch; ++n) {
+    std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
+    const Tensor yi = xbar.matvec(xi);
+    for (int64_t o = 0; o < kOut; ++o) {
+      max_err = std::max(max_err,
+                         std::abs(static_cast<double>(y[n * kOut + o]) - yi[o]));
+      max_ref = std::max(max_ref, std::abs(static_cast<double>(yi[o])));
+    }
+  }
+  EXPECT_GT(max_ref, 0.0);
+  return max_err / max_ref;
+}
+
+TEST(CrossbarExec, Int8TargetStaysInsidePinnedTolerances) {
+  // The int8 target is approximate by design; what is pinned is how
+  // approximate. The bounds below are ~2x the worst error measured across
+  // these seeds (see docs/ARCHITECTURE.md for the analytic bound) — a
+  // regression that widens int8 quantization error trips them.
+  RramDeviceParams plain = ideal();
+  plain.program_sigma = 0.2f;
+  double worst_plain = 0.0;
+  for (uint64_t seed : {600u, 610u, 620u, 630u})
+    worst_plain = std::max(worst_plain, int8_max_rel_err(plain, seed));
+  EXPECT_GT(worst_plain, 0.0);    // quantization genuinely engages
+  EXPECT_LE(worst_plain, 0.02);   // pinned: 2% of the output range
+
+  // With the full periphery stack (levels + DAC + ADC) the int8 delta can
+  // push a borderline current across an ADC bucket edge, so the bound is
+  // wider than the raw quantization error.
+  RramDeviceParams full = ideal();
+  full.program_sigma = 0.15f;
+  full.conductance_levels = 16;
+  full.readout.adc_bits = 8;
+  full.readout.dac_bits = 6;
+  double worst_full = 0.0;
+  for (uint64_t seed : {700u, 710u, 720u, 730u})
+    worst_full = std::max(worst_full, int8_max_rel_err(full, seed));
+  EXPECT_LE(worst_full, 0.07);    // pinned: 7% (worst measured 3.4%)
+}
+
 TEST(CrossbarExec, ReadNoisePathsAreSeedDeterministic) {
   // With read noise on, matvec and matmul use different stream derivations
   // by design; what each must guarantee is exact reproducibility from the
@@ -215,6 +318,12 @@ TEST(CrossbarExec, ReadNoisePathsAreSeedDeterministic) {
   EXPECT_GT(diff, 0.0);
 }
 
+// Digital-agreement tolerance: loose enough for the ambient target's int8
+// quantization when the CI matrix forces CORRECTNET_TARGET=int8.
+float ambient_tol(float exact_tol) {
+  return exec::default_target().bit_exact() ? exact_tol : 0.05f;
+}
+
 TEST(CrossbarDense, IdealMatchesDigitalLayer) {
   Rng rng(1);
   nn::Dense d(6, 4, "fc");
@@ -226,7 +335,8 @@ TEST(CrossbarDense, IdealMatchesDigitalLayer) {
   rng.fill_normal(x, 0.0f, 1.0f);
   Tensor y_ref = d.forward(x, false);
   Tensor y_xbar = xd.forward(x, false);
-  for (int64_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y_xbar[i], y_ref[i], 1e-3f);
+  for (int64_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_NEAR(y_xbar[i], y_ref[i], ambient_tol(1e-3f));
 }
 
 TEST(CrossbarConv2D, IdealMatchesDigitalLayer) {
@@ -241,7 +351,8 @@ TEST(CrossbarConv2D, IdealMatchesDigitalLayer) {
   Tensor y_ref = c.forward(x, false);
   Tensor y_xbar = xc.forward(x, false);
   ASSERT_EQ(y_ref.shape(), y_xbar.shape());
-  for (int64_t i = 0; i < y_ref.size(); ++i) EXPECT_NEAR(y_xbar[i], y_ref[i], 2e-3f);
+  for (int64_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_NEAR(y_xbar[i], y_ref[i], ambient_tol(2e-3f));
 }
 
 TEST(CrossbarLayers, BackwardThrows) {
@@ -268,7 +379,9 @@ TEST(ProgramToCrossbars, WholeModelIdealAccuracyMatches) {
   nn::Sequential xm = program_to_crossbars(m, ideal(), prog);
   const float acc_ref = core::evaluate(m, ds.test);
   const float acc_xbar = core::evaluate(xm, ds.test, /*batch=*/20);
-  EXPECT_NEAR(acc_xbar, acc_ref, 1e-6f);
+  // Bit-exact targets flip no logits on the ideal device; an approximate
+  // ambient target (int8 CI leg) may flip a borderline sample or two.
+  EXPECT_NEAR(acc_xbar, acc_ref, ambient_tol(1e-6f));
 }
 
 TEST(ProgramToCrossbars, VariationDegradesLikeFactorModel) {

@@ -13,6 +13,7 @@
 
 #include "analog/crossbar_layers.h"
 #include "core/trainer.h"
+#include "exec_testutil.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
 #include "runtime/chip_farm.h"
@@ -133,6 +134,7 @@ TEST(Scheduler, NestedCallInsideAPoolWorkerRunsSequentially) {
 TEST(CrossbarMatmul, MatchesMatvecExactlyUnderQuantization) {
   // Stress every deterministic device feature: programming variation,
   // conductance levels, DAC and ADC quantization, multiple tiles.
+  CN_SKIP_UNLESS_BIT_EXACT_TARGET();
   analog::RramDeviceParams dev = quiet_dev();
   dev.program_sigma = 0.2f;
   dev.conductance_levels = 16;
@@ -165,6 +167,7 @@ TEST(CrossbarMatmul, MatchesMatvecExactlyUnderQuantization) {
 }
 
 TEST(CrossbarLayers, BatchedForwardMatchesPerColumnPath) {
+  CN_SKIP_UNLESS_BIT_EXACT_TARGET();
   auto& f = fixture();
   analog::RramDeviceParams dev = quiet_dev();
   dev.program_sigma = 0.3f;
