@@ -21,6 +21,7 @@
 
 #include "common.h"
 #include "exec/target.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
 #include "runtime/chip_farm.h"
@@ -39,6 +40,7 @@ double seconds_since(Clock::time_point t0) {
 
 int main(int argc, char** argv) {
   using namespace cn;
+  obs::init_from_env();  // CORRECTNET_METRICS / _TRACE / _LOG hookup
   bool quick = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -175,14 +177,67 @@ int main(int argc, char** argv) {
     const double t_serve = seconds_since(t0);
     const runtime::ServerStats st = server.stats();
     std::printf("  [server] %lld requests in %.3fs: %.0f req/s, avg batch %.1f, "
-                "avg latency %.0fus, acc %.3f\n",
+                "latency avg %.0fus p50 %.0fus p99 %.0fus p999 %.0fus, acc %.3f\n",
                 static_cast<long long>(requests), t_serve, st.throughput_rps(),
-                st.avg_batch(), st.avg_latency_us(),
+                st.avg_batch(), st.avg_latency_us(), st.p50_latency_us,
+                st.p99_latency_us, st.p999_latency_us,
                 static_cast<double>(correct) / static_cast<double>(requests));
     json.set("server_requests", requests);
     json.set("server_throughput_rps", st.throughput_rps());
     json.set("server_avg_batch", st.avg_batch());
     json.set("server_avg_latency_us", st.avg_latency_us());
+    json.set("server_p50_us", st.p50_latency_us);
+    json.set("server_p99_us", st.p99_latency_us);
+    json.set("server_p999_us", st.p999_latency_us);
+  }
+
+  // ---------- InferenceServer under bursty arrivals ----------
+  // The open-loop leg above slams every request in at once, so latency is
+  // dominated by queueing behind the drain. This leg sends small bursts with
+  // idle gaps — the arrival pattern micro-batching exists for — and records
+  // the tail percentiles, which the avg-only stats used to hide.
+  {
+    analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+    runtime::ChipFarmOptions sfo;
+    sfo.instances = 2;
+    sfo.max_live = 2;
+    runtime::ChipFarm sfarm(model, none, sfo);
+    runtime::InferenceServerOptions so;
+    so.max_batch = 16;
+    so.max_wait_us = 500;
+    so.workers = 2;
+    runtime::InferenceServer server(sfarm, so);
+    const int64_t burst_size = 8;
+    const int64_t bursts = quick ? 8 : 24;
+    const int64_t requests = burst_size * bursts;
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(requests));
+    t0 = Clock::now();
+    for (int64_t b = 0; b < bursts; ++b) {
+      for (int64_t i = 0; i < burst_size; ++i) {
+        const int64_t idx = (b * burst_size + i) % test_count;
+        futs.push_back(server.submit(ds.test.image(idx)));
+      }
+      // Wait the burst out before the gap so each burst's latency is its
+      // own batching story, not queueing behind the previous one.
+      futs.back().wait();
+      std::this_thread::sleep_for(std::chrono::microseconds(quick ? 500 : 2000));
+    }
+    for (auto& f : futs) f.wait();
+    const double t_burst = seconds_since(t0);
+    const runtime::ServerStats st = server.stats();
+    std::printf("  [burst]  %lld bursts x %lld requests in %.3fs: %.0f req/s, "
+                "latency p50 %.0fus p99 %.0fus p999 %.0fus\n",
+                static_cast<long long>(bursts),
+                static_cast<long long>(burst_size), t_burst,
+                st.throughput_rps(), st.p50_latency_us, st.p99_latency_us,
+                st.p999_latency_us);
+    json.set("burst_requests", requests);
+    json.set("burst_throughput_rps", st.throughput_rps());
+    json.set("burst_avg_batch", st.avg_batch());
+    json.set("burst_p50_us", st.p50_latency_us);
+    json.set("burst_p99_us", st.p99_latency_us);
+    json.set("burst_p999_us", st.p999_latency_us);
   }
 
   // ---------- per-execution-target kernel legs ----------

@@ -6,6 +6,7 @@
 //                  [--beta 3e-2] [--lambda-min 0] [--warmup 0]
 //                  [--ratio 0.5] [--max-layers 4] [--mc 15] [--rl]
 //                  [--train N] [--test N] [--save-prefix PATH]
+//                  [--metrics-out F] [--trace-out F] [--log-level L]
 //
 // Runs baseline -> suppression -> sensitivity -> compensation -> Monte-Carlo
 // and prints a summary; optionally saves the trained weights.
@@ -14,10 +15,20 @@
 //   correctnet_cli faults [--config PATH] [--out PATH] [--chips N]
 //                         [--epochs N] [--comp-epochs N] [--train N] [--test N]
 //                         [--sigma S] [--target NAME]
+//                         [--metrics-out F] [--trace-out F]
+//                         [--log-level quiet|info|debug] [--quiet]
 //
 // `--list-targets` prints the execution-target registry (src/exec/target.h);
 // `--target NAME` selects the target crossbar farms execute with (main
 // command: process default; faults subcommand: the campaign `target` key).
+//
+// Observability (docs/OBSERVABILITY.md): `--metrics-out F` writes the
+// MetricsRegistry snapshot, `--trace-out F` enables the span tracer and
+// writes Chrome trace_event JSON, `--log-level` / `--quiet` steer the obs
+// Logger (faults defaults to debug so per-scenario progress stays visible).
+// CORRECTNET_METRICS / CORRECTNET_TRACE / CORRECTNET_LOG do the same from
+// the environment. None of it changes results: every report is
+// byte-identical with metrics and tracing on or off.
 //
 // Trains the CorrectNet pipeline, then drives a faultsim::Campaign — device
 // faults (stuck-at cells, conductance drift, IR drop, temperature) swept
@@ -39,6 +50,9 @@
 #include "models/lenet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/scheduler.h"
 
 namespace {
@@ -60,6 +74,9 @@ struct Args {
   int64_t test = 600;
   std::string save_prefix;
   std::string target;  // crossbar execution target (process default override)
+  std::string metrics_out;  // write the metrics snapshot here at the end
+  std::string trace_out;    // enable tracing, write Chrome trace JSON here
+  std::string log_level;    // quiet|info|debug; empty = leave the default
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,7 +85,8 @@ struct Args {
                "          [--sigma S] [--epochs N] [--comp-epochs N] [--beta B]\n"
                "          [--lambda-min L] [--warmup N] [--ratio R] [--max-layers N]\n"
                "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n"
-               "          [--target NAME]\n"
+               "          [--target NAME] [--metrics-out F] [--trace-out F]\n"
+               "          [--log-level quiet|info|debug]\n"
                "       %s --list-targets\n",
                argv0, argv0);
   std::exit(2);
@@ -120,6 +138,9 @@ Args parse(int argc, char** argv) {
     else if (k == "--test") a.test = std::atoll(next());
     else if (k == "--save-prefix") a.save_prefix = next();
     else if (k == "--target") a.target = next();
+    else if (k == "--metrics-out") a.metrics_out = next();
+    else if (k == "--trace-out") a.trace_out = next();
+    else if (k == "--log-level") a.log_level = next();
     else usage(argv[0]);
   }
   return a;
@@ -140,13 +161,19 @@ struct FaultArgs {
   float sigma = 0.5f;
   int64_t train = 800;
   int64_t test = 200;
+  std::string metrics_out;  // campaign `metrics_out` key override
+  std::string trace_out;    // campaign `trace_out` key override
+  std::string log_level;    // campaign `log_level` key override
+  bool quiet = false;       // shorthand for --log-level quiet (wins)
 };
 
 [[noreturn]] void usage_faults(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
-               "          [--sigma S] [--remap] [--parallel N] [--target NAME]\n",
+               "          [--sigma S] [--remap] [--parallel N] [--target NAME]\n"
+               "          [--metrics-out F] [--trace-out F]\n"
+               "          [--log-level quiet|info|debug] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -170,6 +197,10 @@ FaultArgs parse_faults(int argc, char** argv) {
     else if (k == "--train") a.train = std::atoll(next());
     else if (k == "--test") a.test = std::atoll(next());
     else if (k == "--sigma") a.sigma = std::strtof(next(), nullptr);
+    else if (k == "--metrics-out") a.metrics_out = next();
+    else if (k == "--trace-out") a.trace_out = next();
+    else if (k == "--log-level") a.log_level = next();
+    else if (k == "--quiet") a.quiet = true;
     else usage_faults(argv[0]);
   }
   return a;
@@ -209,6 +240,14 @@ int run_faults(int argc, char** argv) {
       // not be silently dropped here.
       if (args.parallel_set)
         cfg.set("parallel_scenarios", std::to_string(args.parallel));
+      if (!args.metrics_out.empty()) cfg.set("metrics_out", args.metrics_out);
+      if (!args.trace_out.empty()) cfg.set("trace_out", args.trace_out);
+      // The campaign's per-scenario progress logs at debug; the faults
+      // frontend keeps it visible by default (matching the CLI's historical
+      // output), unless the config or a flag says otherwise. --quiet wins.
+      if (args.quiet) cfg.set("log_level", "quiet");
+      else if (!args.log_level.empty()) cfg.set("log_level", args.log_level);
+      else if (!cfg.has("log_level")) cfg.set("log_level", "debug");
       return faultsim::campaign_from_config(cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "bad campaign config%s%s: %s\n",
@@ -238,9 +277,6 @@ int run_faults(int argc, char** argv) {
   campaign.add_model("baseline", r.base_model, false);
   campaign.add_model("suppressed", r.lipschitz_model, false);
   campaign.add_model("corrected", r.corrected_model, true);
-  campaign.log = [](const std::string& s) {
-    std::printf("  [campaign] %s\n", s.c_str());
-  };
 
   std::printf("\nrunning fault campaign: %lld scenarios (%lld fault specs x %lld "
               "protection variants%s), target %s, concurrency %lld\n",
@@ -304,6 +340,12 @@ int run_faults(int argc, char** argv) {
                 static_cast<long long>(report.total_absorbed()));
   report.write_json(args.out);
   std::printf("report -> %s\n", args.out.c_str());
+  // Campaign::run already wrote these (config keys metrics_out/trace_out);
+  // just point at them.
+  const std::string metrics_path = args.metrics_out;
+  const std::string trace_path = args.trace_out;
+  if (!metrics_path.empty()) std::printf("metrics -> %s\n", metrics_path.c_str());
+  if (!trace_path.empty()) std::printf("trace -> %s\n", trace_path.c_str());
   return 0;
 }
 
@@ -311,10 +353,28 @@ int run_faults(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace cn;
+  // Environment observability hookup first (CORRECTNET_METRICS / _TRACE /
+  // _LOG), so it covers every command including the subcommands; flags below
+  // layer on top.
+  try {
+    obs::init_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
   if (argc > 1 && std::strcmp(argv[1], "--list-targets") == 0) return list_targets();
   if (argc > 1 && std::strcmp(argv[1], "faults") == 0) return run_faults(argc, argv);
   const Args args = parse(argc, argv);
   if (!args.target.empty()) apply_target(argv[0], args.target);
+  if (!args.log_level.empty()) {
+    try {
+      obs::Logger::global().set_level(obs::parse_log_level(args.log_level));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
+  if (!args.trace_out.empty()) obs::Tracer::global().set_enabled(true);
 
   // Dataset.
   data::SplitDataset ds;
@@ -397,6 +457,14 @@ int main(int argc, char** argv) {
     nn::save_weights(r.lipschitz_model, args.save_prefix + "_lip.wts");
     nn::save_weights(r.corrected_model, args.save_prefix + "_corrected.wts");
     std::printf("weights saved with prefix %s\n", args.save_prefix.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    obs::metrics().write_json(args.metrics_out);
+    std::printf("metrics -> %s\n", args.metrics_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    obs::Tracer::global().write_json(args.trace_out);
+    std::printf("trace -> %s\n", args.trace_out.c_str());
   }
   return 0;
 }

@@ -1,7 +1,7 @@
 // serve_demo: the inference runtime end to end — train a small model, spin
 // up a ChipFarm of variation-afflicted chip instances, serve concurrent
-// clients through the micro-batching InferenceServer, and print the
-// latency/throughput counters.
+// clients through the micro-batching InferenceServer, and print the full
+// stats snapshot (throughput plus p50/p99/p999 latency percentiles).
 #include <cstdio>
 #include <future>
 #include <mutex>
@@ -11,12 +11,14 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
+#include "obs/metrics.h"
 #include "runtime/chip_farm.h"
 #include "runtime/inference_server.h"
 #include "tensor/ops.h"
 
 int main() {
   using namespace cn;
+  obs::init_from_env();  // CORRECTNET_METRICS / _TRACE / _LOG hookup
   std::printf("== serve_demo: micro-batched inference over a chip farm ==\n");
 
   data::DigitsSpec spec;
@@ -77,14 +79,10 @@ int main() {
   }
   server.shutdown();
 
+  // The one formatting of the stats snapshot — percentiles included — lives
+  // on ServerStats itself; no more hand-rolled averages here.
   const runtime::ServerStats st = server.stats();
-  std::printf("[serve] served %llu requests in %llu batches "
-              "(avg batch %.1f, %llu full)\n",
-              static_cast<unsigned long long>(st.requests),
-              static_cast<unsigned long long>(st.batches), st.avg_batch(),
-              static_cast<unsigned long long>(st.full_batches));
-  std::printf("[serve] throughput %.0f req/s, avg latency %.0f us\n",
-              st.throughput_rps(), st.avg_latency_us());
+  std::printf("[serve] %s\n", st.summary().c_str());
   std::printf("[serve] accuracy under variation: %.3f\n",
               static_cast<double>(correct) / static_cast<double>(futs.size()));
   std::printf("done.\n");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/target.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
 
@@ -75,6 +76,16 @@ void CrossbarTile::lower() {
   view.g_min = dev_.g_min;
   view.g_max = dev_.g_max;
   exec_ = target_->lower(view);
+  // Per-target lowering volume (tiles and conductance bytes consumed). The
+  // name lookup is mutex-guarded, so skip it entirely when gated off — this
+  // runs per tile per chip build.
+  if (obs::metrics().enabled()) {
+    const std::string prefix = "exec." + std::string(target_->name());
+    obs::metrics().counter(prefix + ".tiles").add(1);
+    obs::metrics().counter(prefix + ".bytes")
+        .add(static_cast<uint64_t>(rows_) * static_cast<uint64_t>(cols_) * 2 *
+             sizeof(float));
+  }
 }
 
 void CrossbarTile::apply_faults(const FaultList& faults,

@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <stdexcept>
 
 #include "exec/target.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
 #include "runtime/scheduler.h"
@@ -217,10 +219,13 @@ CampaignReport Campaign::run(const data::Dataset& test) {
   const int64_t conc =
       runtime::effective_concurrency(opts_.parallel_scenarios, n);
   report.scenarios.resize(static_cast<size_t>(n));
-  // Concurrent scenarios log through one mutex so lines never interleave
-  // mid-message; each line carries its grid index since completion order is
-  // scheduler-dependent.
-  std::mutex log_mu;
+
+  // Observability plumbing. All of it is timing/count-only — nothing below
+  // touches rng streams or the numeric path, so the report JSON is
+  // byte-identical with metrics/tracing on or off (tier-1 asserted).
+  if (!opts_.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  obs::Counter& m_scenarios = obs::metrics().counter("campaign.scenarios");
+  obs::Gauge& m_rate = obs::metrics().gauge("campaign.scenarios_per_s");
 
   runtime::parallel_indexed(n, conc, [&](int64_t i) {
     const Cell& cell = cells[static_cast<size_t>(i)];
@@ -231,16 +236,26 @@ CampaignReport Campaign::run(const data::Dataset& test) {
     const uint64_t scenario_seed = mix64(
         opts_.seed ^
         (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(cell.fi) + 1)));
-    if (log) {
-      std::string msg = "[" + std::to_string(i + 1) + "/" + std::to_string(n) +
-                        "] scenario " + spec.kind + "@" +
-                        json_num(spec.severity) + " x " + me.name +
-                        (opts_.remap.enabled
-                             ? (cell.remap_on ? " x remap" : " x no-remap")
-                             : "");
-      std::lock_guard<std::mutex> lk(log_mu);
-      log(msg);
+    // The cell label is shared by the progress line and the trace span; build
+    // it only when either consumer is live (string assembly is cheap, but the
+    // quiet path should stay print- and allocation-free).
+    const bool want_label =
+        obs::Logger::global().should_log(obs::LogLevel::kDebug) ||
+        obs::Tracer::global().enabled();
+    std::string label;
+    if (want_label) {
+      label = "scenario " + spec.kind + "@" + json_num(spec.severity) + " x " +
+              me.name +
+              (opts_.remap.enabled
+                   ? (cell.remap_on ? " x remap" : " x no-remap")
+                   : "");
+      // The Logger sink serializes concurrent lines; "[k/N]" carries the grid
+      // index since completion order is scheduler-dependent.
+      obs::log_debug("[campaign] [" + std::to_string(i + 1) + "/" +
+                     std::to_string(n) + "] " + label);
     }
+    obs::Span cell_span(label, "campaign");
+    m_scenarios.add(1);
     runtime::ChipFarmOptions fo;
     fo.instances = opts_.chips;
     fo.seed = scenario_seed;
@@ -279,6 +294,11 @@ CampaignReport Campaign::run(const data::Dataset& test) {
   });
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (report.wall_s > 0)
+    m_rate.set(static_cast<double>(n) / report.wall_s);
+  if (!opts_.metrics_out.empty()) obs::metrics().write_json(opts_.metrics_out);
+  if (!opts_.trace_out.empty())
+    obs::Tracer::global().write_json(opts_.trace_out);
   return report;
 }
 
@@ -294,6 +314,7 @@ const std::vector<std::string>& campaign_config_keys() {
       "stuck.rates", "stuck.high_fraction", "drift.times", "drift.nu",
       "drift.nu_sigma", "ir.alphas", "thermal.temps", "thermal.t0",
       "remap", "remap.spare_rows", "remap.spare_cols", "remap.pair_swap",
+      "metrics_out", "trace_out", "log_level",
   };
   return keys;
 }
@@ -319,6 +340,13 @@ Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
   opts.remap.spare_rows = cfg.integer("remap.spare_rows", opts.remap.spare_rows);
   opts.remap.spare_cols = cfg.integer("remap.spare_cols", opts.remap.spare_cols);
   opts.remap.pair_swap = cfg.integer("remap.pair_swap", 1) != 0;
+  opts.metrics_out = cfg.str("metrics_out", opts.metrics_out);
+  opts.trace_out = cfg.str("trace_out", opts.trace_out);
+  // log_level steers the process-wide Logger (the campaign's progress lines
+  // go through it at debug); parse now so a typo fails at config time.
+  const std::string log_level = cfg.str("log_level", "");
+  if (!log_level.empty())
+    obs::Logger::global().set_level(obs::parse_log_level(log_level));
 
   Campaign c(opts);
   if (cfg.integer("control", 1) != 0) c.add_fault(fault_free());

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +62,14 @@ struct CampaignOptions {
   // params — under the same per-scenario chip seeds, so the pair sees
   // identical defect maps (a matched-pairs experiment, like compensation).
   remap::RemapParams remap;
+  // Observability sinks (both optional). When `trace_out` is set, run()
+  // enables the process-wide obs::Tracer and writes a Chrome trace_event
+  // JSON there; when `metrics_out` is set, run() writes a
+  // MetricsRegistry::snapshot_json() there. Instrumentation is timing-only:
+  // the CampaignReport (and its JSON) is byte-identical with either sink on
+  // or off — asserted in tier-1 (tests/test_obs.cpp).
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 /// One grid cell's outcome.
@@ -138,18 +145,16 @@ class Campaign {
     return num_models() * num_faults() * (opts_.remap.enabled ? 2 : 1);
   }
 
-  /// Progress hook (scenario label), printed by the CLI/bench frontends.
-  /// Invoked under an internal mutex — concurrent scenarios never interleave
-  /// within one message — but the sink itself must tolerate being called
-  /// from scheduler worker threads. Messages carry a "[k/N]" grid-order
-  /// index; arrival order follows completion and is not deterministic.
-  std::function<void(const std::string&)> log;
-
   /// Runs the whole grid and aggregates the report. Deterministic: scenario
   /// (fi, model) uses chip seeds derived from (opts.seed, fi) only, so the
   /// same chips and fault realizations meet every protection variant — and
   /// results land at their grid index, so the report does not depend on
   /// `parallel_scenarios` (only wall_s does).
+  ///
+  /// Per-cell "[k/N] scenario ..." progress goes through obs::Logger at
+  /// debug level (frontends opt in via --log-level / the `log_level` config
+  /// key); each cell also emits an obs::Span and bumps campaign.* metrics.
+  /// None of it feeds rng streams or the numeric path.
   CampaignReport run(const data::Dataset& test);
 
  private:

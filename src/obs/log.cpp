@@ -1,0 +1,55 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace cn::obs {
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "quiet") return LogLevel::kQuiet;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  throw std::invalid_argument("log level must be quiet|info|debug, got \"" +
+                              s + "\"");
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kQuiet: return "quiet";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (!should_log(level)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sink_) {
+    sink_(level, msg);
+    return;
+  }
+  std::printf("%s\n", msg.c_str());
+  std::fflush(stdout);
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sink_ = std::move(sink);
+}
+
+Logger& Logger::global() {
+  static Logger* l = new Logger();  // leaked on purpose; see MetricsRegistry
+  return *l;
+}
+
+void log_info(const std::string& msg) {
+  Logger::global().log(LogLevel::kInfo, msg);
+}
+
+void log_debug(const std::string& msg) {
+  Logger::global().log(LogLevel::kDebug, msg);
+}
+
+}  // namespace cn::obs

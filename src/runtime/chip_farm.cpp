@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "exec/target.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/threadpool.h"
 
 namespace cn::runtime {
@@ -83,6 +85,10 @@ uint64_t ChipFarm::read_seed(int64_t s) const {
 }
 
 void ChipFarm::populate(int64_t slot, int64_t s) {
+  // Build accounting is count-only; the rng below is seeded before any metric
+  // call and never reads from one, so chips are byte-identical either way.
+  obs::metrics().counter("farm.chip_builds").add(1);
+  obs::Span span("farm.populate", "farm");
   Slot& sl = slots_[static_cast<size_t>(slot)];
   Rng rng(chip_seed(s));
   if (crossbar_) {
@@ -94,6 +100,12 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
     if (remapping) {
       remap_stats_[static_cast<size_t>(s)] = analog::collect_remap_stats(*sl.model);
       remap_stats_known_[static_cast<size_t>(s)] = 1;
+      // Running totals of repair work across every chip build in the process
+      // (gauges so snapshots read the current accumulation).
+      const remap::RemapStats& st = remap_stats_[static_cast<size_t>(s)];
+      obs::metrics().gauge("farm.remap.defects").add(static_cast<double>(st.defects));
+      obs::metrics().gauge("farm.remap.absorbed").add(static_cast<double>(st.absorbed()));
+      obs::metrics().gauge("farm.remap.residual").add(static_cast<double>(st.residual));
     }
     return;
   }

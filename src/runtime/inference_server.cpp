@@ -1,13 +1,38 @@
 #include "runtime/inference_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cn::runtime {
 
+std::string ServerStats::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "requests %llu in %llu batches (avg batch %.1f, %llu full)\n"
+                "throughput %.0f req/s over %.3fs\n"
+                "latency avg %.0fus  p50 %.0fus  p99 %.0fus  p999 %.0fus  "
+                "max %.0fus",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(batches), avg_batch(),
+                static_cast<unsigned long long>(full_batches),
+                throughput_rps(), wall_seconds, avg_latency_us(),
+                p50_latency_us, p99_latency_us, p999_latency_us,
+                max_latency_us);
+  return buf;
+}
+
 InferenceServer::InferenceServer(ChipFarm& farm, const InferenceServerOptions& opts)
-    : farm_(farm), opts_(opts) {
+    : farm_(farm),
+      opts_(opts),
+      m_requests_(obs::metrics().counter("server.requests")),
+      m_batches_(obs::metrics().counter("server.batches")),
+      m_queue_depth_(obs::metrics().gauge("server.queue_depth")),
+      m_latency_us_(obs::metrics().histogram("server.latency_us")),
+      m_batch_size_(obs::metrics().histogram("server.batch_size")) {
   if (opts_.max_batch < 1)
     throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
   const int workers = static_cast<int>(std::clamp<int64_t>(
@@ -48,6 +73,7 @@ std::future<Tensor> InferenceServer::submit(Tensor input) {
                                   to_string(input_shape_));
     }
     queue_.push_back(std::move(req));
+    m_queue_depth_.set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -80,6 +106,7 @@ void InferenceServer::worker_loop(int worker) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
     // More work may remain (e.g. during drain); let a sibling grab it while
     // this worker runs the forward pass.
@@ -100,10 +127,13 @@ void InferenceServer::run_batch(nn::Sequential& chip, std::vector<Request>& batc
               stacked.data() + i * stride);
   Tensor out;
   std::exception_ptr err;
-  try {
-    out = chip.forward(stacked, /*train=*/false);
-  } catch (...) {
-    err = std::current_exception();
+  {
+    obs::Span span("server.batch", "server");
+    try {
+      out = chip.forward(stacked, /*train=*/false);
+    } catch (...) {
+      err = std::current_exception();
+    }
   }
   const auto done = std::chrono::steady_clock::now();
   // Record stats before resolving the promises: a client that has seen its
@@ -113,13 +143,20 @@ void InferenceServer::run_batch(nn::Sequential& chip, std::vector<Request>& batc
     stats_.requests += static_cast<uint64_t>(b);
     stats_.batches += 1;
     if (b >= opts_.max_batch) stats_.full_batches += 1;
-    for (const auto& req : batch)
-      stats_.total_latency_us +=
+    for (const auto& req : batch) {
+      const double lat_us =
           std::chrono::duration<double, std::micro>(done - req.enqueued).count();
+      stats_.total_latency_us += lat_us;
+      latency_us_.record(lat_us);
+      m_latency_us_.record(lat_us);
+    }
     last_done_ = std::max(last_done_, done);
     stats_.wall_seconds =
         std::chrono::duration<double>(last_done_ - first_submit_).count();
   }
+  m_requests_.add(static_cast<uint64_t>(b));
+  m_batches_.add(1);
+  m_batch_size_.record(static_cast<double>(b));
   if (err) {
     for (auto& req : batch) req.promise.set_exception(err);
     return;
@@ -146,8 +183,19 @@ void InferenceServer::shutdown() {
 }
 
 ServerStats InferenceServer::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    out = stats_;
+  }
+  // Percentiles come from this server's own histogram (snapshot once so all
+  // three quantiles read one coherent set of bucket counts).
+  const obs::LatencyHistogram::Snapshot s = latency_us_.snapshot();
+  out.p50_latency_us = s.percentile(0.50);
+  out.p99_latency_us = s.percentile(0.99);
+  out.p999_latency_us = s.percentile(0.999);
+  out.max_latency_us = static_cast<double>(s.max_us);
+  return out;
 }
 
 }  // namespace cn::runtime

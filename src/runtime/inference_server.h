@@ -13,7 +13,12 @@
 // crossbar chips were lowered with — swapping targets swaps the served
 // kernels without touching the scheduler.
 //
-// Latency/throughput counters are kept per server and snapshot via stats().
+// Latency/throughput counters are kept per server and snapshot via stats();
+// per-request enqueue->complete latency feeds an obs::LatencyHistogram, so
+// the snapshot carries exact-rank p50/p99/p999 percentiles. The server also
+// publishes process-wide metrics (server.requests / server.batches counters,
+// a server.queue_depth gauge, server.latency_us and server.batch_size
+// histograms) into obs::MetricsRegistry — see docs/OBSERVABILITY.md.
 #pragma once
 
 #include <chrono>
@@ -22,9 +27,11 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/chip_farm.h"
 #include "tensor/tensor.h"
 
@@ -43,6 +50,13 @@ struct ServerStats {
   uint64_t full_batches = 0;   // batches that hit max_batch
   double total_latency_us = 0; // submit -> completion, summed over requests
   double wall_seconds = 0;     // first submit -> last completion
+  // Enqueue->complete latency percentiles from the server's histogram
+  // (exact-rank extraction, see obs::LatencyHistogram); 0 until the first
+  // request completes.
+  double p50_latency_us = 0;
+  double p99_latency_us = 0;
+  double p999_latency_us = 0;
+  double max_latency_us = 0;
 
   double avg_batch() const {
     return batches ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
@@ -53,6 +67,11 @@ struct ServerStats {
   double throughput_rps() const {
     return wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0.0;
   }
+
+  /// Human-readable multi-line snapshot (requests/batches, throughput, avg
+  /// plus percentile latencies) — the one formatting of these numbers, so
+  /// demos and benches stop re-deriving them.
+  std::string summary() const;
 };
 
 class InferenceServer {
@@ -99,6 +118,17 @@ class InferenceServer {
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_done_;
   bool saw_submit_ = false;
+
+  // Per-server latency histogram backing the stats() percentiles (always
+  // recording — it is a product feature, not optional instrumentation), plus
+  // cached handles into the process-wide registry (gated by its enabled
+  // flag). Instrumentation is timing-only: no rng, no numeric-path effect.
+  obs::LatencyHistogram latency_us_;
+  obs::Counter& m_requests_;
+  obs::Counter& m_batches_;
+  obs::Gauge& m_queue_depth_;
+  obs::LatencyHistogram& m_latency_us_;
+  obs::LatencyHistogram& m_batch_size_;
 
   std::vector<std::thread> workers_;
 };

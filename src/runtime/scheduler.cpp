@@ -5,6 +5,8 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/threadpool.h"
 
 namespace cn::runtime {
@@ -22,8 +24,14 @@ void parallel_indexed(int64_t n, int64_t concurrency,
   // Inside a pool worker every parallel_for runs inline, so workers
   // provisioned here could never dispatch — degenerate to the serial loop.
   if (ThreadPool::current_thread_in_pool()) c = 1;
+  // Job accounting is timing/count-only (no rng, no numeric effect): results
+  // stay byte-identical with metrics on or off.
+  obs::Counter& m_jobs = obs::metrics().counter("sched.jobs");
   if (c <= 1) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      m_jobs.add(1);
+      fn(i);
+    }
     return;
   }
 
@@ -35,9 +43,13 @@ void parallel_indexed(int64_t n, int64_t concurrency,
   // after a failure) is exhausted — dynamic load balancing across
   // heterogeneous jobs.
   auto drain = [&] {
+    // One span per worker drain: the trace timeline shows per-worker
+    // utilization (busy span length vs the call's wall clock).
+    obs::Span worker_span("sched.worker", "sched");
     while (!failed.load(std::memory_order_relaxed)) {
       const int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      m_jobs.add(1);
       try {
         fn(i);
       } catch (...) {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cn {
 
 namespace {
@@ -29,6 +32,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   tl_current_pool = this;
+  // Resolved once per worker; counting/tracing is timing-only and never
+  // perturbs task results (metrics-on/off byte-exactness contract).
+  obs::Counter& m_tasks = obs::metrics().counter("pool.tasks");
   for (;;) {
     std::function<void()> task;
     {
@@ -38,6 +44,8 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    m_tasks.add(1);
+    obs::Span span("pool.task", "pool");
     task();
   }
 }
