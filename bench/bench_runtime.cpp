@@ -13,6 +13,7 @@
 // Writes BENCH_runtime.json (see bench::BenchJson). `--quick` shrinks the
 // workload for CI smoke runs.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -21,6 +22,7 @@
 
 #include "common.h"
 #include "exec/target.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
@@ -148,6 +150,7 @@ int main(int argc, char** argv) {
   json.set("threads", static_cast<int64_t>(ThreadPool::global().size()));
 
   // ---------- InferenceServer micro-batching ----------
+  double base_server_rps = 0;  // unscraped throughput, scrape-leg baseline
   {
     analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
     runtime::ChipFarmOptions sfo;
@@ -182,6 +185,7 @@ int main(int argc, char** argv) {
                 st.avg_batch(), st.avg_latency_us(), st.p50_latency_us,
                 st.p99_latency_us, st.p999_latency_us,
                 static_cast<double>(correct) / static_cast<double>(requests));
+    base_server_rps = st.throughput_rps();
     json.set("server_requests", requests);
     json.set("server_throughput_rps", st.throughput_rps());
     json.set("server_avg_batch", st.avg_batch());
@@ -238,6 +242,59 @@ int main(int argc, char** argv) {
     json.set("burst_p50_us", st.p50_latency_us);
     json.set("burst_p99_us", st.p99_latency_us);
     json.set("burst_p999_us", st.p999_latency_us);
+  }
+
+  // ---------- serving throughput with a live scraper ----------
+  // The open-loop server leg again, but with an ephemeral ExpositionServer
+  // up and a client hitting /metrics at 10 Hz — the deployment shape the
+  // exposition tier is designed for. Recorded (not asserted): the point is a
+  // machine-readable trajectory of scrape overhead, which should stay noise.
+  {
+    analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+    runtime::ChipFarmOptions sfo;
+    sfo.instances = 2;
+    sfo.max_live = 2;
+    runtime::ChipFarm sfarm(model, none, sfo);
+    runtime::InferenceServerOptions so;
+    so.max_batch = 32;
+    so.max_wait_us = 1000;
+    so.workers = 2;
+    runtime::InferenceServer server(sfarm, so);
+    obs::ExpositionServer expo;  // port 0 = ephemeral
+    expo.set_ready(true);
+    std::atomic<bool> stop_scraper{false};
+    std::atomic<int64_t> scrapes{0};
+    std::thread scraper([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        try {
+          obs::http_get_local(expo.port(), "/metrics");
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+    const int64_t requests = std::min<int64_t>(test_count, quick ? 120 : 400);
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(requests));
+    t0 = Clock::now();
+    for (int64_t i = 0; i < requests; ++i)
+      futs.push_back(server.submit(ds.test.image(i)));
+    for (auto& f : futs) f.wait();
+    const double t_scraped = seconds_since(t0);
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    const runtime::ServerStats st = server.stats();
+    const double overhead =
+        base_server_rps > 0 ? 1.0 - st.throughput_rps() / base_server_rps : 0.0;
+    std::printf("  [scrape] %lld requests in %.3fs with %lld scrapes: "
+                "%.0f req/s (overhead vs unscraped %.1f%%)\n",
+                static_cast<long long>(requests), t_scraped,
+                static_cast<long long>(scrapes.load()), st.throughput_rps(),
+                100.0 * overhead);
+    json.set("server_throughput_rps_scraped", st.throughput_rps());
+    json.set("scrape_count", scrapes.load());
+    json.set("scrape_overhead_frac", overhead);
   }
 
   // ---------- per-execution-target kernel legs ----------

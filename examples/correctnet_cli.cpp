@@ -26,9 +26,14 @@
 // MetricsRegistry snapshot, `--trace-out F` enables the span tracer and
 // writes Chrome trace_event JSON, `--log-level` / `--quiet` steer the obs
 // Logger (faults defaults to debug so per-scenario progress stays visible).
-// CORRECTNET_METRICS / CORRECTNET_TRACE / CORRECTNET_LOG do the same from
-// the environment. None of it changes results: every report is
-// byte-identical with metrics and tracing on or off.
+// `--statusz-port N` serves /metrics, /healthz and /statusz live over HTTP
+// (0 = ephemeral port), `--metrics-stream F` appends 1 Hz interval-delta
+// JSONL snapshots, and `--version` prints the build identity line.
+// CORRECTNET_METRICS / CORRECTNET_TRACE / CORRECTNET_LOG (plus
+// CORRECTNET_STATUSZ_PORT / CORRECTNET_METRICS_STREAM / CORRECTNET_SLO_P99_MS
+// / CORRECTNET_SIGNAL_FLUSH) do the same from the environment. None of it
+// changes results: every report is byte-identical with metrics and tracing
+// on or off.
 //
 // Trains the CorrectNet pipeline, then drives a faultsim::Campaign — device
 // faults (stuck-at cells, conductance drift, IR drop, temperature) swept
@@ -50,8 +55,11 @@
 #include "models/lenet.h"
 #include "models/vgg.h"
 #include "nn/serialize.h"
+#include "obs/build_info.h"
+#include "obs/exposition.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/snapshot_stream.h"
 #include "obs/trace.h"
 #include "runtime/scheduler.h"
 
@@ -77,6 +85,8 @@ struct Args {
   std::string metrics_out;  // write the metrics snapshot here at the end
   std::string trace_out;    // enable tracing, write Chrome trace JSON here
   std::string log_level;    // quiet|info|debug; empty = leave the default
+  int64_t statusz_port = -1;   // >= 0: start the exposition server (0 = ephemeral)
+  std::string metrics_stream;  // start the JSONL metrics snapshotter here
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -87,8 +97,10 @@ struct Args {
                "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n"
                "          [--target NAME] [--metrics-out F] [--trace-out F]\n"
                "          [--log-level quiet|info|debug]\n"
-               "       %s --list-targets\n",
-               argv0, argv0);
+               "          [--statusz-port N] [--metrics-stream F]\n"
+               "       %s --list-targets\n"
+               "       %s --version\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -141,6 +153,8 @@ Args parse(int argc, char** argv) {
     else if (k == "--metrics-out") a.metrics_out = next();
     else if (k == "--trace-out") a.trace_out = next();
     else if (k == "--log-level") a.log_level = next();
+    else if (k == "--statusz-port") a.statusz_port = std::atoll(next());
+    else if (k == "--metrics-stream") a.metrics_stream = next();
     else usage(argv[0]);
   }
   return a;
@@ -165,6 +179,9 @@ struct FaultArgs {
   std::string trace_out;    // campaign `trace_out` key override
   std::string log_level;    // campaign `log_level` key override
   bool quiet = false;       // shorthand for --log-level quiet (wins)
+  bool statusz_set = false;   // --statusz-port given: override `statusz_port`
+  int64_t statusz_port = -1;  // passed through verbatim (ctor validates)
+  std::string metrics_stream; // campaign `metrics_stream` key override
 };
 
 [[noreturn]] void usage_faults(const char* argv0) {
@@ -173,7 +190,8 @@ struct FaultArgs {
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
                "          [--sigma S] [--remap] [--parallel N] [--target NAME]\n"
                "          [--metrics-out F] [--trace-out F]\n"
-               "          [--log-level quiet|info|debug] [--quiet]\n",
+               "          [--log-level quiet|info|debug] [--quiet]\n"
+               "          [--statusz-port N] [--metrics-stream F]\n",
                argv0);
   std::exit(2);
 }
@@ -201,6 +219,8 @@ FaultArgs parse_faults(int argc, char** argv) {
     else if (k == "--trace-out") a.trace_out = next();
     else if (k == "--log-level") a.log_level = next();
     else if (k == "--quiet") a.quiet = true;
+    else if (k == "--statusz-port") { a.statusz_port = std::atoll(next()); a.statusz_set = true; }
+    else if (k == "--metrics-stream") a.metrics_stream = next();
     else usage_faults(argv[0]);
   }
   return a;
@@ -242,6 +262,10 @@ int run_faults(int argc, char** argv) {
         cfg.set("parallel_scenarios", std::to_string(args.parallel));
       if (!args.metrics_out.empty()) cfg.set("metrics_out", args.metrics_out);
       if (!args.trace_out.empty()) cfg.set("trace_out", args.trace_out);
+      if (args.statusz_set)
+        cfg.set("statusz_port", std::to_string(args.statusz_port));
+      if (!args.metrics_stream.empty())
+        cfg.set("metrics_stream", args.metrics_stream);
       // The campaign's per-scenario progress logs at debug; the faults
       // frontend keeps it visible by default (matching the CLI's historical
       // output), unless the config or a flag says otherwise. --quiet wins.
@@ -340,6 +364,7 @@ int run_faults(int argc, char** argv) {
                 static_cast<long long>(report.total_absorbed()));
   report.write_json(args.out);
   std::printf("report -> %s\n", args.out.c_str());
+  obs::MetricsSnapshotter::stop_global();  // final partial-interval line
   // Campaign::run already wrote these (config keys metrics_out/trace_out);
   // just point at them.
   const std::string metrics_path = args.metrics_out;
@@ -362,10 +387,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 2;
   }
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", obs::build_info_line().c_str());
+    return 0;
+  }
   if (argc > 1 && std::strcmp(argv[1], "--list-targets") == 0) return list_targets();
   if (argc > 1 && std::strcmp(argv[1], "faults") == 0) return run_faults(argc, argv);
   const Args args = parse(argc, argv);
   if (!args.target.empty()) apply_target(argv[0], args.target);
+  if (args.statusz_port >= 0 || !args.metrics_stream.empty()) {
+    try {
+      if (args.statusz_port >= 0)
+        obs::ExpositionServer::start_global(
+            static_cast<int>(args.statusz_port))
+            .set_ready(true);
+      if (!args.metrics_stream.empty())
+        obs::MetricsSnapshotter::start_global(args.metrics_stream);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
   if (!args.log_level.empty()) {
     try {
       obs::Logger::global().set_level(obs::parse_log_level(args.log_level));
@@ -466,5 +508,6 @@ int main(int argc, char** argv) {
     obs::Tracer::global().write_json(args.trace_out);
     std::printf("trace -> %s\n", args.trace_out.c_str());
   }
+  obs::MetricsSnapshotter::stop_global();  // final partial-interval line
   return 0;
 }

@@ -1,8 +1,20 @@
 // serve_demo: the inference runtime end to end — train a small model, spin
 // up a ChipFarm of variation-afflicted chip instances, serve concurrent
 // clients through the micro-batching InferenceServer, and print the full
-// stats snapshot (throughput plus p50/p99/p999 latency percentiles).
+// stats snapshot (throughput plus p50/p99/p999 latency percentiles and the
+// SLO burn-rate line when an objective is set).
+//
+// Flags (all optional):
+//   --statusz-port N   serve /metrics, /healthz, /statusz on 127.0.0.1:N
+//                      while the demo runs (0 = ephemeral; port is printed)
+//   --linger-s S       keep the process (and the exposition server) alive S
+//                      seconds after serving finishes — lets `curl` inspect
+//                      the endpoints post-run (CI does exactly this)
+//   --slo-p99-ms X     latency objective p99 < X ms (default 50; 0 = off)
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -11,15 +23,49 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "runtime/chip_farm.h"
 #include "runtime/inference_server.h"
 #include "tensor/ops.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cn;
-  obs::init_from_env();  // CORRECTNET_METRICS / _TRACE / _LOG hookup
+  obs::init_from_env();  // CORRECTNET_METRICS / _TRACE / _LOG / _STATUSZ_PORT...
+
+  int64_t statusz_port = -1;
+  double linger_s = 0;
+  double slo_p99_ms = 50;  // small-model latencies are sub-ms; 50ms = healthy
+  for (int i = 1; i < argc; ++i) {
+    const std::string k = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--statusz-port N] [--linger-s S] "
+                     "[--slo-p99-ms X]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (k == "--statusz-port") statusz_port = std::atoll(next());
+    else if (k == "--linger-s") linger_s = std::atof(next());
+    else if (k == "--slo-p99-ms") slo_p99_ms = std::atof(next());
+    else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], k.c_str());
+      return 2;
+    }
+  }
+
   std::printf("== serve_demo: micro-batched inference over a chip farm ==\n");
+  if (statusz_port >= 0) {
+    obs::ExpositionServer& srv =
+        obs::ExpositionServer::start_global(static_cast<int>(statusz_port));
+    std::printf("[obs] statusz on http://127.0.0.1:%d (/metrics /healthz "
+                "/statusz) — not ready until the farm is programmed\n",
+                srv.port());
+  }
 
   data::DigitsSpec spec;
   spec.train_count = 600;
@@ -47,6 +93,7 @@ int main() {
   so.max_batch = 16;
   so.max_wait_us = 1500;
   so.workers = 2;
+  so.slo_p99_ms = slo_p99_ms;  // server ctor flips /healthz to ready
   runtime::InferenceServer server(farm, so);
 
   constexpr int kClients = 3;
@@ -85,6 +132,14 @@ int main() {
   std::printf("[serve] %s\n", st.summary().c_str());
   std::printf("[serve] accuracy under variation: %.3f\n",
               static_cast<double>(correct) / static_cast<double>(futs.size()));
+
+  if (linger_s > 0) {
+    // The server object (and its /statusz section) stays alive through the
+    // linger so curl sees the full page.
+    std::printf("[obs] lingering %.1fs for endpoint inspection...\n", linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+  }
   std::printf("done.\n");
   return 0;
 }

@@ -1,13 +1,17 @@
 #include "faultsim/campaign.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
 #include "exec/target.h"
+#include "obs/exposition.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/snapshot_stream.h"
 #include "obs/trace.h"
 #include "runtime/chip_farm.h"
 #include "runtime/mc_engine.h"
@@ -151,6 +155,10 @@ Campaign::Campaign(CampaignOptions opts) : opts_(opts) {
     throw std::invalid_argument(
         "Campaign: remap axis enabled but no repair moves configured "
         "(spare budget 0 and pair_swap off)");
+  if (opts_.statusz_port > 65535)
+    throw std::invalid_argument("Campaign: statusz_port must be <= 65535");
+  if (opts_.slo_p99_ms < 0)
+    throw std::invalid_argument("Campaign: slo_p99_ms must be >= 0 (0 = off)");
   // Resolve the execution target against the registry now: a typo'd name
   // must fail before any training or scenario work, not at the first farm.
   if (!opts_.target.empty()) exec::get_target(opts_.target);
@@ -226,6 +234,19 @@ CampaignReport Campaign::run(const data::Dataset& test) {
   if (!opts_.trace_out.empty()) obs::Tracer::global().set_enabled(true);
   obs::Counter& m_scenarios = obs::metrics().counter("campaign.scenarios");
   obs::Gauge& m_rate = obs::metrics().gauge("campaign.scenarios_per_s");
+  // Live introspection: a /statusz scrape mid-run sees the grid size and a
+  // completed-cell count (progress order-independent: cells only increment).
+  if (opts_.slo_p99_ms > 0) obs::set_default_slo_p99_ms(opts_.slo_p99_ms);
+  if (!opts_.metrics_stream.empty())
+    obs::MetricsSnapshotter::start_global(opts_.metrics_stream);
+  if (opts_.statusz_port >= 0)
+    obs::ExpositionServer::start_global(static_cast<int>(opts_.statusz_port))
+        .set_ready(true);
+  obs::Gauge& m_total = obs::metrics().gauge("campaign.cells_total");
+  obs::Gauge& m_done = obs::metrics().gauge("campaign.cells_done");
+  m_total.set(static_cast<double>(n));
+  m_done.set(0);
+  std::atomic<int64_t> cells_done{0};
 
   runtime::parallel_indexed(n, conc, [&](int64_t i) {
     const Cell& cell = cells[static_cast<size_t>(i)];
@@ -291,6 +312,9 @@ CampaignReport Campaign::run(const data::Dataset& test) {
       }
     }
     report.scenarios[static_cast<size_t>(i)] = std::move(res);
+    m_done.set(
+        static_cast<double>(cells_done.fetch_add(1, std::memory_order_relaxed) +
+                            1));
   });
   report.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -315,6 +339,7 @@ const std::vector<std::string>& campaign_config_keys() {
       "drift.nu_sigma", "ir.alphas", "thermal.temps", "thermal.t0",
       "remap", "remap.spare_rows", "remap.spare_cols", "remap.pair_swap",
       "metrics_out", "trace_out", "log_level",
+      "statusz_port", "metrics_stream", "slo_p99_ms",
   };
   return keys;
 }
@@ -342,6 +367,9 @@ Campaign campaign_from_config(const core::KeyValueConfig& cfg) {
   opts.remap.pair_swap = cfg.integer("remap.pair_swap", 1) != 0;
   opts.metrics_out = cfg.str("metrics_out", opts.metrics_out);
   opts.trace_out = cfg.str("trace_out", opts.trace_out);
+  opts.statusz_port = cfg.integer("statusz_port", opts.statusz_port);
+  opts.metrics_stream = cfg.str("metrics_stream", opts.metrics_stream);
+  opts.slo_p99_ms = cfg.number("slo_p99_ms", opts.slo_p99_ms);
   // log_level steers the process-wide Logger (the campaign's progress lines
   // go through it at debug); parse now so a typo fails at config time.
   const std::string log_level = cfg.str("log_level", "");

@@ -70,6 +70,16 @@ struct CampaignOptions {
   // or off — asserted in tier-1 (tests/test_obs.cpp).
   std::string metrics_out;
   std::string trace_out;
+  // Live introspection (all optional, all timing-only like the sinks above).
+  // statusz_port >= 0 starts the process-global obs::ExpositionServer before
+  // the grid runs (-1 = off, 0 = ephemeral port) and marks it ready;
+  // metrics_stream starts the process-global obs::MetricsSnapshotter
+  // appending 1 Hz interval-delta JSONL there; slo_p99_ms > 0 sets the
+  // process-default latency objective (obs::set_default_slo_p99_ms) that
+  // InferenceServers built later adopt.
+  int64_t statusz_port = -1;
+  std::string metrics_stream;
+  double slo_p99_ms = 0;
 };
 
 /// One grid cell's outcome.

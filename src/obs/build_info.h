@@ -1,0 +1,28 @@
+// Build provenance for live introspection: which bits are running, answered
+// without a shell. The git sha and build type are baked in at configure time
+// (src/CMakeLists.txt passes CN_GIT_SHA / CN_BUILD_TYPE to this TU only, so
+// a new commit dirties one object file, not the library); the compiler comes
+// from its own version macros and the SIMD level from the same runtime
+// detection the crossbar kernel dispatch uses. Surfaced three ways:
+// `correctnet_cli --version`, the /statusz header, and the
+// `correctnet_build_info{...} 1` Prometheus info metric (obs/prometheus.h).
+#pragma once
+
+#include <string>
+
+namespace cn::obs {
+
+struct BuildInfo {
+  std::string git_sha;     // short sha at configure time; "unknown" outside git
+  std::string compiler;    // e.g. "gcc 12.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string simd;        // runtime-detected kernel ISA: generic|avx2|avx512f
+};
+
+/// The process's build info, detected once on first use.
+const BuildInfo& build_info();
+
+/// One-line human form: "correctnet <sha> (<build_type>, <compiler>, simd <level>)".
+std::string build_info_line();
+
+}  // namespace cn::obs

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/exposition.h"
 #include "obs/log.h"
+#include "obs/slo.h"
+#include "obs/snapshot_stream.h"
 #include "obs/trace.h"
 
 namespace cn::obs {
@@ -144,6 +148,28 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return s;
 }
 
+LatencyHistogram::Snapshot LatencyHistogram::Snapshot::delta_since(
+    const Snapshot& prev) const {
+  Snapshot d;
+  d.buckets.resize(buckets.size());
+  uint64_t total = 0, sum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t p = i < prev.buckets.size() ? prev.buckets[i] : 0;
+    // A later snapshot of a live histogram never shrinks; a reset in
+    // between would, so clamp instead of underflowing.
+    d.buckets[i] = buckets[i] > p ? buckets[i] - p : 0;
+    total += d.buckets[i];
+  }
+  sum = sum_us > prev.sum_us ? sum_us - prev.sum_us : 0;
+  d.count = total;
+  d.sum_us = sum;
+  // Lifetime extremes, not interval extremes: the bucket sketch cannot
+  // recover an interval min/max, so pass the current ones through.
+  d.min_us = min_us;
+  d.max_us = max_us;
+  return d;
+}
+
 double LatencyHistogram::percentile(double q) const {
   return snapshot().percentile(q);
 }
@@ -228,27 +254,32 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
   return *it->second;
 }
 
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : hists_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
 std::string MetricsRegistry::snapshot_json() const {
   // Render every metric into a sorted key -> value map, then emit the flat
   // BenchJson shape ("name" first; maps keep the rest sorted).
+  const RegistrySnapshot snap = snapshot();
   std::map<std::string, std::string> kv;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const auto& [name, c] : counters_)
-      kv[name] = std::to_string(c->value());
-    for (const auto& [name, g] : gauges_) kv[name] = json_num(g->value());
-    for (const auto& [name, h] : hists_) {
-      const LatencyHistogram::Snapshot s = h->snapshot();
-      kv[name + ".count"] = std::to_string(s.count);
-      kv[name + ".mean_us"] = json_num(
-          s.count ? static_cast<double>(s.sum_us) / static_cast<double>(s.count)
-                  : 0.0);
-      kv[name + ".min_us"] = json_num(static_cast<double>(s.min_us));
-      kv[name + ".max_us"] = json_num(static_cast<double>(s.max_us));
-      kv[name + ".p50_us"] = json_num(s.percentile(0.50));
-      kv[name + ".p99_us"] = json_num(s.percentile(0.99));
-      kv[name + ".p999_us"] = json_num(s.percentile(0.999));
-    }
+  for (const auto& [name, v] : snap.counters) kv[name] = std::to_string(v);
+  for (const auto& [name, v] : snap.gauges) kv[name] = json_num(v);
+  for (const auto& [name, s] : snap.histograms) {
+    kv[name + ".count"] = std::to_string(s.count);
+    kv[name + ".mean_us"] = json_num(
+        s.count ? static_cast<double>(s.sum_us) / static_cast<double>(s.count)
+                : 0.0);
+    kv[name + ".min_us"] = json_num(static_cast<double>(s.min_us));
+    kv[name + ".max_us"] = json_num(static_cast<double>(s.max_us));
+    kv[name + ".p50_us"] = json_num(s.percentile(0.50));
+    kv[name + ".p99_us"] = json_num(s.percentile(0.99));
+    kv[name + ".p999_us"] = json_num(s.percentile(0.999));
   }
   std::string j = "{\n  \"name\": \"metrics\"";
   for (const auto& [k, v] : kv) j += ",\n  \"" + json_escaped(k) + "\": " + v;
@@ -280,35 +311,95 @@ MetricsRegistry& MetricsRegistry::global() {
 
 MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 
+namespace {
+
+// Exit-time sink paths, leaked strings so the atexit hook and the signal
+// handler can read them during teardown.
+std::string* g_metrics_path = nullptr;
+std::string* g_trace_path = nullptr;
+
+void cn_obs_flush_and_reraise(int sig) {
+  // Not strictly async-signal-safe (it formats and writes files), but this
+  // path is opt-in (CORRECTNET_SIGNAL_FLUSH=1) and chosen deliberately: a
+  // long campaign cut down by Ctrl-C keeps its metrics/trace/stream
+  // artifacts instead of losing hours of telemetry to purity.
+  flush_observability_sinks();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void flush_observability_sinks() noexcept {
+  try {
+    if (g_metrics_path) MetricsRegistry::global().write_json(*g_metrics_path);
+  } catch (...) {
+  }
+  try {
+    if (g_trace_path) Tracer::global().write_json(*g_trace_path);
+  } catch (...) {
+  }
+  MetricsSnapshotter::flush_global();
+}
+
 void init_from_env() {
   static bool done = false;
   if (done) return;
   done = true;
+  bool want_atexit = false;
   if (const char* p = std::getenv("CORRECTNET_METRICS"); p && *p) {
-    static std::string path;
-    path = p;
-    std::atexit(+[] {
-      try {
-        MetricsRegistry::global().write_json(path);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "CORRECTNET_METRICS: %s\n", e.what());
-      }
-    });
+    g_metrics_path = new std::string(p);
+    want_atexit = true;
   }
   if (const char* p = std::getenv("CORRECTNET_TRACE"); p && *p) {
     Tracer::global().set_enabled(true);
-    static std::string tpath;
-    tpath = p;
-    std::atexit(+[] {
-      try {
-        Tracer::global().write_json(tpath);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "CORRECTNET_TRACE: %s\n", e.what());
-      }
-    });
+    g_trace_path = new std::string(p);
+    want_atexit = true;
   }
   if (const char* p = std::getenv("CORRECTNET_LOG"); p && *p)
     Logger::global().set_level(parse_log_level(p));
+  if (const char* p = std::getenv("CORRECTNET_STATUSZ_PORT"); p && *p) {
+    char* end = nullptr;
+    const long port = std::strtol(p, &end, 10);
+    if (end && *end == '\0' && port >= 0 && port <= 65535) {
+      try {
+        ExpositionServer::start_global(static_cast<int>(port)).set_ready(true);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "CORRECTNET_STATUSZ_PORT: %s\n", e.what());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "CORRECTNET_STATUSZ_PORT: invalid port '%s' (want 0-65535)\n",
+                   p);
+    }
+  }
+  if (const char* p = std::getenv("CORRECTNET_METRICS_STREAM"); p && *p) {
+    try {
+      MetricsSnapshotter::start_global(p);
+      want_atexit = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "CORRECTNET_METRICS_STREAM: %s\n", e.what());
+    }
+  }
+  if (const char* p = std::getenv("CORRECTNET_SLO_P99_MS"); p && *p) {
+    char* end = nullptr;
+    const double ms = std::strtod(p, &end);
+    if (end && *end == '\0' && ms >= 0.0)
+      set_default_slo_p99_ms(ms);
+    else
+      std::fprintf(stderr, "CORRECTNET_SLO_P99_MS: invalid value '%s'\n", p);
+  }
+  if (want_atexit) {
+    std::atexit(+[] {
+      flush_observability_sinks();
+      MetricsSnapshotter::stop_global();
+    });
+  }
+  if (const char* p = std::getenv("CORRECTNET_SIGNAL_FLUSH");
+      p && std::string(p) == "1") {
+    std::signal(SIGINT, &cn_obs_flush_and_reraise);
+    std::signal(SIGTERM, &cn_obs_flush_and_reraise);
+  }
 }
 
 }  // namespace cn::obs

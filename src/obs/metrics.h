@@ -143,6 +143,15 @@ class LatencyHistogram {
     uint64_t max_us = 0;
     std::vector<uint64_t> buckets;  // kNumBuckets entries
     double percentile(double q) const;
+    /// Interval delta against an earlier snapshot of the same histogram:
+    /// bucket-wise and count/sum subtraction (a snapshot taken later can
+    /// never have smaller buckets; a reset in between clamps to this
+    /// snapshot's values instead of underflowing). min/max cover the whole
+    /// histogram lifetime, not the interval, and are copied through. The
+    /// delta is itself a valid Snapshot — percentile() over it is the
+    /// exact-rank quantile of just the interval's samples, which is what
+    /// the snapshot stream and the SLO burn-rate tracker consume.
+    Snapshot delta_since(const Snapshot& prev) const;
   };
   Snapshot snapshot() const;
 
@@ -156,6 +165,17 @@ class LatencyHistogram {
   std::atomic<uint64_t> min_{UINT64_MAX};
   std::atomic<uint64_t> max_{0};
   std::vector<std::atomic<uint64_t>> buckets_;
+};
+
+/// One coherent copy of every registered metric, taken under the registry
+/// lock. The one input shape every exposition surface consumes: the JSON
+/// writer, the Prometheus text renderer (obs/prometheus.h), the interval
+/// snapshot stream (obs/snapshot_stream.h), and the /statusz dump all
+/// render a RegistrySnapshot rather than re-walking the registry.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencyHistogram::Snapshot> histograms;
 };
 
 /// Named metric registry. Lookup is mutex-guarded and returns a stable
@@ -175,6 +195,12 @@ class MetricsRegistry {
 
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Copies every registered metric under the registry lock (histograms via
+  /// LatencyHistogram::snapshot, so bucket counts are per-histogram
+  /// coherent). Names keep their registry form ("server.latency_us");
+  /// renderers map them to their own conventions.
+  RegistrySnapshot snapshot() const;
 
   /// Flat BenchJson-shaped object: {"name": "metrics", <sorted keys>...}.
   /// Counters/gauges emit under their name; a histogram emits
@@ -203,10 +229,29 @@ MetricsRegistry& metrics();
 
 /// One-shot environment hookup, called by frontends (CLI, benches, demos)
 /// before any work:
-///   CORRECTNET_METRICS=FILE  write the registry snapshot to FILE at exit
-///   CORRECTNET_TRACE=FILE    enable tracing now, write FILE at exit
-///   CORRECTNET_LOG=LEVEL     set the Logger level (quiet|info|debug)
-/// Idempotent; a malformed CORRECTNET_LOG value throws.
+///   CORRECTNET_METRICS=FILE        write the registry snapshot to FILE at exit
+///   CORRECTNET_TRACE=FILE          enable tracing now, write FILE at exit
+///   CORRECTNET_LOG=LEVEL           set the Logger level (quiet|info|debug)
+///   CORRECTNET_STATUSZ_PORT=N      start the live exposition server on port N
+///                                  (0 = ephemeral; obs/exposition.h) now
+///   CORRECTNET_METRICS_STREAM=FILE start the interval-delta JSONL metrics
+///                                  stream (obs/snapshot_stream.h) now,
+///                                  flushed at exit
+///   CORRECTNET_SLO_P99_MS=X        process-default p99 latency objective for
+///                                  InferenceServer SLO tracking (obs/slo.h)
+///   CORRECTNET_SIGNAL_FLUSH=1      install SIGINT/SIGTERM handlers that
+///                                  flush every configured writer (metrics
+///                                  file, trace file, snapshot stream), then
+///                                  re-raise — so an interrupted long
+///                                  campaign keeps its observability
+///                                  artifacts
+/// Idempotent; a malformed value (log level, port, objective) throws.
 void init_from_env();
+
+/// The flush the signal handler and atexit hooks share: writes the
+/// CORRECTNET_METRICS / CORRECTNET_TRACE files if configured and flushes the
+/// global snapshot stream. Safe to call any number of times; errors go to
+/// stderr instead of throwing (it runs on teardown paths).
+void flush_observability_sinks() noexcept;
 
 }  // namespace cn::obs

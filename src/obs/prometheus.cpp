@@ -1,0 +1,142 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+
+#include "obs/build_info.h"
+
+namespace cn::obs {
+
+namespace {
+
+// %.17g round-trips doubles and trims trailing zeros ("40", not "40.000000").
+std::string prom_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string u64(uint64_t v) { return std::to_string(v); }
+
+// HELP text escaping: backslash and newline only (quotes are legal there).
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+void family_header(std::string& out, const std::string& name,
+                   const std::string& help, const char* type) {
+  out += "# HELP " + name + " " + escape_help(help) + "\n";
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+void render_histogram(std::string& out, const std::string& reg_name,
+                      const LatencyHistogram::Snapshot& s) {
+  const std::string base = prom_name(reg_name);
+  family_header(out, base,
+                "CorrectNet histogram \"" + reg_name +
+                    "\" (integer microseconds, cumulative buckets).",
+                "histogram");
+  // One cumulative le line per occupied sketch bucket (upper edge; values
+  // are integer us, so every sample in bucket i is <= upper(i)), then +Inf.
+  uint64_t cum = 0;
+  for (size_t i = 0; i < s.buckets.size(); ++i) {
+    if (!s.buckets[i]) continue;
+    cum += s.buckets[i];
+    out += base + "_bucket{le=\"" +
+           u64(LatencyHistogram::bucket_upper(static_cast<int>(i))) + "\"} " +
+           u64(cum) + "\n";
+  }
+  out += base + "_bucket{le=\"+Inf\"} " + u64(s.count) + "\n";
+  out += base + "_sum " + u64(s.sum_us) + "\n";
+  out += base + "_count " + u64(s.count) + "\n";
+  // Exact-rank percentile gauges ride in their own family: quantile samples
+  // inside a histogram family would be invalid exposition.
+  family_header(out, base + "_quantile",
+                "Exact-rank quantiles of \"" + reg_name +
+                    "\" (lower edge of the bucket holding the rank).",
+                "gauge");
+  for (double q : {0.5, 0.99, 0.999})
+    out += base + "_quantile{q=\"" + prom_num(q) + "\"} " +
+           prom_num(s.percentile(q)) + "\n";
+}
+
+}  // namespace
+
+std::string prom_name(const std::string& registry_name) {
+  std::string out = "correctnet_";
+  out.reserve(out.size() + registry_name.size());
+  for (char c : registry_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_prometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  // One walk over the merged, sorted name space so families appear in
+  // registry order regardless of kind.
+  auto ci = snap.counters.begin();
+  auto gi = snap.gauges.begin();
+  auto hi = snap.histograms.begin();
+  while (ci != snap.counters.end() || gi != snap.gauges.end() ||
+         hi != snap.histograms.end()) {
+    // Smallest pending name wins; names are unique across kinds (the
+    // registry rejects cross-kind collisions).
+    const std::string* next = nullptr;
+    if (ci != snap.counters.end()) next = &ci->first;
+    if (gi != snap.gauges.end() && (!next || gi->first < *next))
+      next = &gi->first;
+    if (hi != snap.histograms.end() && (!next || hi->first < *next))
+      next = &hi->first;
+    if (ci != snap.counters.end() && &ci->first == next) {
+      const std::string name = prom_name(ci->first) + "_total";
+      family_header(out, name, "CorrectNet counter \"" + ci->first + "\".",
+                    "counter");
+      out += name + " " + u64(ci->second) + "\n";
+      ++ci;
+    } else if (gi != snap.gauges.end() && &gi->first == next) {
+      const std::string name = prom_name(gi->first);
+      family_header(out, name, "CorrectNet gauge \"" + gi->first + "\".",
+                    "gauge");
+      out += name + " " + prom_num(gi->second) + "\n";
+      ++gi;
+    } else {
+      render_histogram(out, hi->first, hi->second);
+      ++hi;
+    }
+  }
+  const BuildInfo& b = build_info();
+  family_header(out, "correctnet_build_info",
+                "Build provenance; the value is always 1.", "gauge");
+  out += "correctnet_build_info{git_sha=\"" + prom_escape_label(b.git_sha) +
+         "\",compiler=\"" + prom_escape_label(b.compiler) +
+         "\",build_type=\"" + prom_escape_label(b.build_type) + "\",simd=\"" +
+         prom_escape_label(b.simd) + "\"} 1\n";
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& reg) {
+  return render_prometheus(reg.snapshot());
+}
+
+}  // namespace cn::obs

@@ -1,0 +1,54 @@
+// Prometheus text exposition (format v0.0.4) for the metrics registry — the
+// pull-based twin of MetricsRegistry::snapshot_json(). Rendering consumes a
+// RegistrySnapshot, so one coherent copy feeds the whole page, and maps the
+// registry's dotted names into the Prometheus grammar:
+//
+//   counter   a.b        -> correctnet_a_b_total            (TYPE counter)
+//   gauge     a.b        -> correctnet_a_b                  (TYPE gauge)
+//   histogram a.b        -> correctnet_a_b histogram family:
+//                             correctnet_a_b_bucket{le="..."}  cumulative
+//                             correctnet_a_b_sum / _count
+//                           plus exact-rank percentile gauges
+//                             correctnet_a_b_quantile{q="0.5|0.99|0.999"}
+//
+// Histogram buckets emit one cumulative `le` line per *occupied* sketch
+// bucket (upper edge) plus le="+Inf" — exact counts, without 1300 zero
+// lines per histogram. The percentile gauges carry the same rank-exact
+// values snapshot_json() reports (quantile labels on a separate _quantile
+// family: mixing quantile samples into a histogram family is invalid
+// exposition). Every family gets # HELP and # TYPE lines; label values are
+// escaped per the text-format rules. The page ends with
+// `correctnet_build_info{git_sha=...,compiler=...,build_type=...,simd=...} 1`
+// (obs/build_info.h).
+//
+// Like every obs surface: rendering reads atomics and allocates strings,
+// touches no rng stream and no numeric path — scraping a live run never
+// changes a result byte (tier-1, tests/test_exposition.cpp).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cn::obs {
+
+/// Maps a registry metric name onto the Prometheus name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* under the "correctnet_" prefix: '.' and every
+/// other illegal character become '_' ("server.latency_us" ->
+/// "correctnet_server_latency_us"). Suffixes (_total, _bucket, ...) are the
+/// renderer's job, not the caller's.
+std::string prom_name(const std::string& registry_name);
+
+/// Escapes a label value: backslash, double quote, and newline, per the text
+/// exposition format.
+std::string prom_escape_label(const std::string& value);
+
+/// Renders one snapshot as a complete exposition page (build-info metric
+/// included). Deterministic for a given snapshot: families in sorted
+/// registry-name order, buckets in ascending le order.
+std::string render_prometheus(const RegistrySnapshot& snap);
+
+/// Convenience: snapshot + render, the /metrics endpoint body.
+std::string render_prometheus(const MetricsRegistry& reg);
+
+}  // namespace cn::obs

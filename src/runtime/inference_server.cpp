@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/exposition.h"
 #include "obs/trace.h"
 
 namespace cn::runtime {
@@ -22,7 +23,14 @@ std::string ServerStats::summary() const {
                 throughput_rps(), wall_seconds, avg_latency_us(),
                 p50_latency_us, p99_latency_us, p999_latency_us,
                 max_latency_us);
-  return buf;
+  std::string out = buf;
+  if (slo_configured) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nslo p99 < %.1fms: window p99 %.0fus, burn %.2fx",
+                  slo_p99_ms, slo_window_p99_us, slo_burn_rate);
+    out += buf;
+  }
+  return out;
 }
 
 InferenceServer::InferenceServer(ChipFarm& farm, const InferenceServerOptions& opts)
@@ -41,12 +49,38 @@ InferenceServer::InferenceServer(ChipFarm& farm, const InferenceServerOptions& o
   // Materialize each worker's chip up front: farm slots are lazy and
   // worker w exclusively owns chip w from here on.
   for (int w = 0; w < workers; ++w) farm_.chip(w);
+
+  // Latency objective: explicit option wins, otherwise the process default
+  // (slo_p99_ms campaign key / --slo-p99-ms / CORRECTNET_SLO_P99_MS).
+  double slo_ms = opts_.slo_p99_ms;
+  if (slo_ms == 0) slo_ms = obs::default_slo_p99_ms();
+  if (slo_ms > 0) {
+    obs::SloConfig cfg;
+    cfg.quantile = 0.99;
+    cfg.threshold_us = slo_ms * 1000.0;
+    cfg.window_s = opts_.slo_window_s;
+    slo_ = std::make_unique<obs::SloTracker>(cfg, "slo");
+    opts_.slo_p99_ms = slo_ms;
+  }
+
+  // Live introspection: the server summary becomes a /statusz section, and
+  // a running global exposition server flips to ready — the chips are
+  // programmed by this point, so the process can serve.
+  statusz_section_ = obs::statusz_add_section(
+      "inference server", [this] { return stats().summary(); });
+  if (obs::ExpositionServer* srv = obs::ExpositionServer::global())
+    srv->set_ready(true);
+
   workers_.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w)
     workers_.emplace_back([this, w] { worker_loop(w); });
 }
 
-InferenceServer::~InferenceServer() { shutdown(); }
+InferenceServer::~InferenceServer() {
+  // The section's lambda captures `this`; unregister before any member dies.
+  if (statusz_section_) obs::statusz_remove_section(statusz_section_);
+  shutdown();
+}
 
 std::future<Tensor> InferenceServer::submit(Tensor input) {
   Request req;
@@ -195,6 +229,13 @@ ServerStats InferenceServer::stats() const {
   out.p99_latency_us = s.percentile(0.99);
   out.p999_latency_us = s.percentile(0.999);
   out.max_latency_us = static_cast<double>(s.max_us);
+  if (slo_) {
+    const obs::SloTracker::Status st = slo_->update(latency_us_);
+    out.slo_configured = true;
+    out.slo_p99_ms = opts_.slo_p99_ms;
+    out.slo_window_p99_us = st.window_quantile_us;
+    out.slo_burn_rate = st.burn_rate;
+  }
   return out;
 }
 

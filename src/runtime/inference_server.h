@@ -26,12 +26,14 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "runtime/chip_farm.h"
 #include "tensor/tensor.h"
 
@@ -42,6 +44,12 @@ struct InferenceServerOptions {
   int64_t max_wait_us = 2000; // flush a partial batch after this long
   int workers = 1;            // worker w runs chips on farm slot w (clamped
                               // to the farm's live slots)
+  // Latency objective: p99 < slo_p99_ms over a slo_window_s sliding window.
+  // 0 adopts the process default (obs::default_slo_p99_ms(), set by
+  // --slo-p99-ms / the `slo_p99_ms` campaign key / CORRECTNET_SLO_P99_MS);
+  // if that is also 0 the server runs without SLO tracking.
+  double slo_p99_ms = 0;
+  double slo_window_s = 60;
 };
 
 struct ServerStats {
@@ -57,6 +65,12 @@ struct ServerStats {
   double p99_latency_us = 0;
   double p999_latency_us = 0;
   double max_latency_us = 0;
+  // SLO status (obs::SloTracker over the server's histogram); slo_configured
+  // false when no objective is set, and the other slo_ fields stay 0.
+  bool slo_configured = false;
+  double slo_p99_ms = 0;          // the objective
+  double slo_window_p99_us = 0;   // p99 over the sliding window
+  double slo_burn_rate = 0;       // error-budget burn (1.0 = at budget)
 
   double avg_batch() const {
     return batches ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
@@ -129,6 +143,12 @@ class InferenceServer {
   obs::Gauge& m_queue_depth_;
   obs::LatencyHistogram& m_latency_us_;
   obs::LatencyHistogram& m_batch_size_;
+
+  // SLO tracking over latency_us_, when an objective is configured. stats()
+  // feeds the tracker (the scrape path calls stats(), so the window advances
+  // with every /statusz hit and every explicit stats() poll).
+  std::unique_ptr<obs::SloTracker> slo_;
+  int statusz_section_ = 0;  // 0 = none registered
 
   std::vector<std::thread> workers_;
 };

@@ -576,6 +576,9 @@ TEST(ObsInvariant, ConfigKeysCoverObservability) {
   EXPECT_TRUE(has("metrics_out"));
   EXPECT_TRUE(has("trace_out"));
   EXPECT_TRUE(has("log_level"));
+  EXPECT_TRUE(has("statusz_port"));
+  EXPECT_TRUE(has("metrics_stream"));
+  EXPECT_TRUE(has("slo_p99_ms"));
   // And they parse end to end, including the loud failure on a bad level.
   core::KeyValueConfig cfg = core::KeyValueConfig::from_string(
       "stuck.rates = 0.01\nlog_level = info\nmetrics_out = \n");
