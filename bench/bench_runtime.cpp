@@ -22,6 +22,7 @@
 
 #include "common.h"
 #include "exec/target.h"
+#include "faultsim/fault_models.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "tensor/ops.h"
@@ -295,6 +296,160 @@ int main(int argc, char** argv) {
     json.set("server_throughput_rps_scraped", st.throughput_rps());
     json.set("scrape_count", scrapes.load());
     json.set("scrape_overhead_frac", overhead);
+  }
+
+  // ---------- bounded-queue admission under sustained 2x overload ----------
+  // A paced client offers requests at twice the measured open-loop capacity.
+  // Without admission control the queue (and the tail) grows without bound
+  // for as long as the overload lasts; with the bounded queue + latency
+  // budget armed, the server sheds the excess as typed Overloaded rejections
+  // and the admitted requests' p99 stays within the budget target. Both
+  // properties are asserted — this leg is the serving-policy contract, not
+  // just a trajectory.
+  {
+    analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+    runtime::ChipFarmOptions sfo;
+    sfo.instances = 2;
+    sfo.max_live = 2;
+    runtime::ChipFarm sfarm(model, none, sfo);
+    // Per-request sustained service time from the open-loop leg; the budget
+    // admits roughly 48 queued requests' worth of wait, so thresholds scale
+    // with the machine instead of hard-coding microseconds.
+    const double svc_us =
+        base_server_rps > 0 ? 1e6 / base_server_rps : 1000.0;
+    runtime::InferenceServerOptions so;
+    so.max_batch = 16;
+    so.max_wait_us = 500;
+    so.workers = 2;
+    so.queue_limit = 64;
+    so.queue_budget_us =
+        std::max<int64_t>(10000, static_cast<int64_t>(48.0 * svc_us));
+    runtime::InferenceServer server(sfarm, so);
+    const double offered_rps = 2.0 * (base_server_rps > 0 ? base_server_rps : 1000.0);
+    const int64_t requests = quick ? 400 : 1600;
+    const auto interval =
+        std::chrono::duration<double>(1.0 / offered_rps);
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(requests));
+    t0 = Clock::now();
+    for (int64_t i = 0; i < requests; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(interval * i));
+      futs.push_back(server.submit(ds.test.image(i % test_count)));
+    }
+    int64_t accepted = 0, rejected = 0;
+    for (auto& f : futs) {
+      try {
+        f.get();
+        ++accepted;
+      } catch (const runtime::Overloaded&) {
+        ++rejected;
+      }
+    }
+    const double t_over = seconds_since(t0);
+    const runtime::ServerStats st = server.stats();
+    // The budget bounds the admission-time queue-wait estimate; an admitted
+    // request additionally rides out its own batch's service time, and the
+    // histogram's power-of-two buckets round p99 up. 3x absorbs both while
+    // still catching unbounded-queue regressions (which blow past any
+    // constant multiple as the overload runs).
+    const double p99_target_us = 3.0 * static_cast<double>(so.queue_budget_us);
+    std::printf("  [overload] offered %.0f req/s (2x capacity) for %.2fs: "
+                "%lld accepted, %lld rejected, max queue %lld/%lld, "
+                "p99 %.0fus (target %.0fus)\n",
+                offered_rps, t_over, static_cast<long long>(accepted),
+                static_cast<long long>(rejected),
+                static_cast<long long>(st.max_queue_depth),
+                static_cast<long long>(so.queue_limit), st.p99_latency_us,
+                p99_target_us);
+    json.set("overload_offered_rps", offered_rps);
+    json.set("overload_requests", requests);
+    json.set("overload_accepted", accepted);
+    json.set("overload_rejected", rejected);
+    json.set("overload_queue_budget_us", so.queue_budget_us);
+    json.set("overload_p99_us", st.p99_latency_us);
+    json.set("overload_p99_target_us", p99_target_us);
+    json.set("overload_max_queue_depth", st.max_queue_depth);
+    if (rejected <= 0) {
+      std::printf("FAIL: 2x overload produced no admission rejections\n");
+      return 1;
+    }
+    if (st.max_queue_depth > so.queue_limit) {
+      std::printf("FAIL: queue grew past its limit (%lld > %lld)\n",
+                  static_cast<long long>(st.max_queue_depth),
+                  static_cast<long long>(so.queue_limit));
+      return 1;
+    }
+    if (st.p99_latency_us > p99_target_us) {
+      std::printf("FAIL: admitted p99 %.0fus exceeded the budget target "
+                  "%.0fus\n",
+                  st.p99_latency_us, p99_target_us);
+      return 1;
+    }
+  }
+
+  // ---------- mid-traffic fault drill ----------
+  // A crossbar farm serves a request stream while 1 of its 2 workers is
+  // drilled (stuck-at faults + remap repair) between two traffic phases.
+  // The serving contract under test: the afflicted worker rebuilds its chip
+  // on its own thread between batches, so no future — queued, in-flight, or
+  // post-drill — ever fails. Asserted, with the drill bookkeeping checked.
+  {
+    analog::RramDeviceParams sdev;
+    sdev.g_min = 1e-6f;
+    sdev.g_max = 1e-4f;
+    sdev.program_sigma = 0.1f;
+    runtime::ChipFarmOptions sfo;
+    sfo.instances = 2;
+    sfo.max_live = 2;
+    sfo.seed = 42;
+    runtime::ChipFarm sfarm(model, sdev, sfo);
+    runtime::InferenceServerOptions so;
+    so.max_batch = 16;
+    so.max_wait_us = 500;
+    so.workers = 2;
+    runtime::InferenceServer server(sfarm, so);
+    const int64_t phase = quick ? 60 : 200;
+    std::vector<std::future<Tensor>> futs;
+    futs.reserve(static_cast<size_t>(2 * phase));
+    t0 = Clock::now();
+    for (int64_t i = 0; i < phase; ++i)
+      futs.push_back(server.submit(ds.test.image(i % test_count)));
+    runtime::DrillSpec drill;
+    drill.action = runtime::DrillSpec::Action::kRemap;
+    drill.workers = {0};
+    drill.faults = faultsim::stuck_at(0.02).models;
+    server.drill(drill);  // mid-traffic: phase-1 requests still in flight
+    for (int64_t i = 0; i < phase; ++i)
+      futs.push_back(server.submit(ds.test.image(i % test_count)));
+    int64_t failed = 0;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (const std::exception&) {
+        ++failed;
+      }
+    }
+    const double t_drill = seconds_since(t0);
+    const runtime::ServerStats st = server.stats();
+    std::printf("  [drill]  %lld requests across a 1-of-2 worker remap drill "
+                "in %.2fs: %lld failed futures, %d drilled / %d active "
+                "workers, p99 %.0fus\n",
+                static_cast<long long>(2 * phase), t_drill,
+                static_cast<long long>(failed), st.drilled_workers,
+                st.active_workers, st.p99_latency_us);
+    json.set("drill_requests", 2 * phase);
+    json.set("drill_failed_futures", failed);
+    json.set("drill_drilled_workers", static_cast<int64_t>(st.drilled_workers));
+    json.set("drill_active_workers", static_cast<int64_t>(st.active_workers));
+    json.set("drill_p99_us", st.p99_latency_us);
+    if (failed != 0 || st.drilled_workers != 1 || st.active_workers != 2) {
+      std::printf("FAIL: drill contract violated (failed %lld, drilled %d, "
+                  "active %d)\n",
+                  static_cast<long long>(failed), st.drilled_workers,
+                  st.active_workers);
+      return 1;
+    }
   }
 
   // ---------- per-execution-target kernel legs ----------

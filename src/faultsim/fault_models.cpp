@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace cn::faultsim {
 
@@ -120,6 +121,17 @@ FaultSpec thermal(double temperature, double t_nominal) {
   s.severity = temperature;
   s.models.push_back(std::make_shared<ThermalFault>(temperature, t_nominal));
   return s;
+}
+
+FaultSpec make_fault(const std::string& kind, double severity) {
+  if (kind.empty() || kind == "none") return fault_free();
+  if (kind == "stuck_at") return stuck_at(severity);
+  if (kind == "drift") return drift(severity);
+  if (kind == "ir_drop") return ir_drop(severity);
+  if (kind == "thermal") return thermal(severity);
+  throw std::invalid_argument(
+      "make_fault: unknown fault kind \"" + kind +
+      "\" (known: none, stuck_at, drift, ir_drop, thermal)");
 }
 
 }  // namespace cn::faultsim

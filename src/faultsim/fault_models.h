@@ -125,4 +125,12 @@ FaultSpec drift(double t_ratio, double nu_mean = 0.05, double nu_sigma = 0.02);
 FaultSpec ir_drop(double alpha);
 FaultSpec thermal(double temperature, double t_nominal = 300.0);
 
+/// Builder dispatch by kind name — the serve-path drill / config seam:
+/// "none" (or "") -> fault_free(), "stuck_at" -> stuck_at(severity),
+/// "drift" -> drift(severity), "ir_drop" -> ir_drop(severity),
+/// "thermal" -> thermal(severity). Unknown kinds throw
+/// std::invalid_argument. Severity semantics match the campaign grid axes
+/// (rate / t_ratio / alpha / Kelvin respectively).
+FaultSpec make_fault(const std::string& kind, double severity);
+
 }  // namespace cn::faultsim

@@ -45,6 +45,18 @@ std::map<int, StatuszSection>& sections() {
 }
 int g_next_section_id = 1;
 
+struct HealthzProbe {
+  std::string name;
+  std::function<bool()> probe;
+};
+
+std::mutex g_probes_mu;
+std::map<int, HealthzProbe>& probes() {
+  static auto* p = new std::map<int, HealthzProbe>();
+  return *p;
+}
+int g_next_probe_id = 1;
+
 void send_all(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
@@ -92,12 +104,46 @@ void statusz_remove_section(int id) {
   sections().erase(id);
 }
 
+int healthz_add_probe(const std::string& name, std::function<bool()> probe) {
+  std::lock_guard<std::mutex> lk(g_probes_mu);
+  const int id = g_next_probe_id++;
+  probes().emplace(id, HealthzProbe{name, std::move(probe)});
+  return id;
+}
+
+void healthz_remove_probe(int id) {
+  std::lock_guard<std::mutex> lk(g_probes_mu);
+  probes().erase(id);
+}
+
+std::vector<std::string> healthz_failing_probes() {
+  std::lock_guard<std::mutex> lk(g_probes_mu);
+  std::vector<std::string> failing;
+  for (const auto& [id, p] : probes()) {
+    (void)id;
+    bool ok = false;
+    try {
+      ok = p.probe();
+    } catch (const std::exception&) {
+      ok = false;  // a throwing probe is a failing probe
+    }
+    if (!ok) failing.push_back(p.name);
+  }
+  return failing;
+}
+
 std::string render_statusz(bool ready) {
   char buf[160];
   std::string out = build_info_line() + "\n";
   std::snprintf(buf, sizeof(buf), "uptime: %.1fs\nready: %s\n", uptime_s(),
                 ready ? "yes" : "no");
   out += buf;
+  const std::vector<std::string> failing = healthz_failing_probes();
+  if (!failing.empty()) {
+    out += "degraded:";
+    for (const std::string& name : failing) out += " " + name;
+    out += "\n";
+  }
 
   const RegistrySnapshot snap = metrics().snapshot();
 
@@ -192,8 +238,22 @@ std::string ExpositionServer::handle(const std::string& path,
   }
   if (path == "/healthz") {
     const bool r = ready();
-    *status = r ? 200 : 503;
-    return r ? "ok\n" : "not ready\n";
+    if (!r) {
+      *status = 503;
+      return "not ready\n";
+    }
+    // Ready, but a registered probe (e.g. admission control) may be
+    // shedding: list the failing probes so the 503 body says why.
+    const std::vector<std::string> failing = healthz_failing_probes();
+    if (failing.empty()) {
+      *status = 200;
+      return "ok\n";
+    }
+    *status = 503;
+    std::string body = "degraded:";
+    for (const std::string& name : failing) body += " " + name;
+    body += "\n";
+    return body;
   }
   if (path == "/statusz" || path == "/") {
     *status = 200;

@@ -32,6 +32,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace cn::obs {
 
@@ -92,6 +93,19 @@ class ExpositionServer {
 int statusz_add_section(const std::string& title,
                         std::function<std::string()> render);
 void statusz_remove_section(int id);
+
+/// Registers a /healthz readiness probe: /healthz answers 200 only while
+/// set_ready(true) holds AND every registered probe returns true; failing
+/// probe names are listed in the 503 body ("degraded: <name>"), so a load
+/// balancer sheds traffic from a server that is alive but rejecting (e.g.
+/// admission control under overload). Same lifetime rules as statusz
+/// sections: a probe capturing `this` must be removed before `this` dies.
+int healthz_add_probe(const std::string& name, std::function<bool()> probe);
+void healthz_remove_probe(int id);
+
+/// Names of currently-failing probes (empty = all passing). Exposed for
+/// render paths and tests.
+std::vector<std::string> healthz_failing_probes();
 
 /// The /statusz body: build info, uptime, readiness, registry-derived
 /// summaries (campaign progress, per-target exec counters), then every

@@ -311,6 +311,32 @@ MetricsRegistry& MetricsRegistry::global() {
 
 MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 
+std::string labeled(const std::string& name, const std::string& key,
+                    const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("labeled(): empty label key");
+  for (size_t i = 0; i < key.size(); ++i) {
+    const char c = key[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    const bool ok = alpha || (i > 0 && c >= '0' && c <= '9');
+    if (!ok)
+      throw std::invalid_argument("labeled(): bad label key \"" + key + "\"");
+  }
+  for (char c : value)
+    if (c == '{' || c == '}' || c == ',' || c == '=' || c == '\n')
+      throw std::invalid_argument("labeled(): bad char in label value \"" +
+                                  value + "\"");
+  // Compose onto an existing label suffix: "a{x=1}" + (y,2) -> "a{x=1,y=2}".
+  if (!name.empty() && name.back() == '}') {
+    const size_t brace = name.find('{');
+    if (brace == std::string::npos)
+      throw std::invalid_argument("labeled(): malformed name \"" + name +
+                                  "\"");
+    return name.substr(0, name.size() - 1) + "," + key + "=" + value + "}";
+  }
+  return name + "{" + key + "=" + value + "}";
+}
+
 namespace {
 
 // Exit-time sink paths, leaked strings so the atexit hook and the signal

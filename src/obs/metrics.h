@@ -227,6 +227,20 @@ class MetricsRegistry {
 /// Shorthand for MetricsRegistry::global().
 MetricsRegistry& metrics();
 
+/// Canonical labeled-metric registry name: labeled("server.requests",
+/// "model", "mnist") == "server.requests{model=mnist}". The registry treats
+/// the result as an opaque name (one independent metric per distinct label
+/// value); the Prometheus renderer parses the suffix back into a real
+/// `{model="mnist"}` label and groups all series of one base name into one
+/// family. Multiple labels compose by calling labeled() on the result —
+/// pairs stay comma-separated and the renderer splits them. The label key
+/// must be a valid Prometheus label name ([a-zA-Z_][a-zA-Z0-9_]*); the value
+/// must not contain '{', '}', ',', '=' or newline. Violations throw
+/// std::invalid_argument — a malformed name would silently corrupt the
+/// exposition page.
+std::string labeled(const std::string& name, const std::string& key,
+                    const std::string& value);
+
 /// One-shot environment hookup, called by frontends (CLI, benches, demos)
 /// before any work:
 ///   CORRECTNET_METRICS=FILE        write the registry snapshot to FILE at exit

@@ -35,35 +35,96 @@ void family_header(std::string& out, const std::string& name,
   out += "# TYPE " + name + " " + std::string(type) + "\n";
 }
 
-void render_histogram(std::string& out, const std::string& reg_name,
-                      const LatencyHistogram::Snapshot& s) {
-  const std::string base = prom_name(reg_name);
+// Registry names carry optional labels as an opaque suffix
+// ("server.requests{model=mnist}", see obs::labeled). Split one back into
+// the base name and a rendered Prometheus label body (`model="mnist"`);
+// a name without a well-formed suffix is all base.
+struct SplitName {
+  std::string base;
+  std::string labels;  // rendered pairs, no braces; "" = unlabeled
+};
+
+SplitName split_name(const std::string& reg_name) {
+  const size_t brace = reg_name.find('{');
+  if (brace == std::string::npos || reg_name.back() != '}')
+    return {reg_name, ""};
+  SplitName sn;
+  sn.base = reg_name.substr(0, brace);
+  const std::string body =
+      reg_name.substr(brace + 1, reg_name.size() - brace - 2);
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    const size_t comma = body.find(',', pos);
+    const std::string pair =
+        body.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return {reg_name, ""};  // malformed: prom_name will sanitize the braces
+    if (!sn.labels.empty()) sn.labels += ",";
+    sn.labels +=
+        pair.substr(0, eq) + "=\"" + prom_escape_label(pair.substr(eq + 1)) +
+        "\"";
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sn;
+}
+
+// All series of one base name, in registry (label-suffix) order.
+template <typename V>
+using Family = std::vector<std::pair<std::string /*labels*/, V>>;
+
+template <typename V>
+std::map<std::string, Family<const V*>> group_families(
+    const std::map<std::string, V>& series) {
+  std::map<std::string, Family<const V*>> fams;
+  for (const auto& [name, value] : series) {
+    SplitName sn = split_name(name);
+    fams[sn.base].emplace_back(sn.labels, &value);
+  }
+  return fams;
+}
+
+std::string series_name(const std::string& prom_base,
+                        const std::string& labels) {
+  return labels.empty() ? prom_base : prom_base + "{" + labels + "}";
+}
+
+void render_histogram_family(
+    std::string& out, const std::string& reg_base,
+    const Family<const LatencyHistogram::Snapshot*>& fam) {
+  const std::string base = prom_name(reg_base);
   family_header(out, base,
-                "CorrectNet histogram \"" + reg_name +
+                "CorrectNet histogram \"" + reg_base +
                     "\" (integer microseconds, cumulative buckets).",
                 "histogram");
-  // One cumulative le line per occupied sketch bucket (upper edge; values
-  // are integer us, so every sample in bucket i is <= upper(i)), then +Inf.
-  uint64_t cum = 0;
-  for (size_t i = 0; i < s.buckets.size(); ++i) {
-    if (!s.buckets[i]) continue;
-    cum += s.buckets[i];
-    out += base + "_bucket{le=\"" +
-           u64(LatencyHistogram::bucket_upper(static_cast<int>(i))) + "\"} " +
-           u64(cum) + "\n";
+  for (const auto& [labels, s] : fam) {
+    // One cumulative le line per occupied sketch bucket (upper edge; values
+    // are integer us, so every sample in bucket i is <= upper(i)), then +Inf.
+    const std::string le_prefix =
+        base + "_bucket{" + (labels.empty() ? "" : labels + ",") + "le=\"";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < s->buckets.size(); ++i) {
+      if (!s->buckets[i]) continue;
+      cum += s->buckets[i];
+      out += le_prefix +
+             u64(LatencyHistogram::bucket_upper(static_cast<int>(i))) +
+             "\"} " + u64(cum) + "\n";
+    }
+    out += le_prefix + "+Inf\"} " + u64(s->count) + "\n";
+    out += series_name(base + "_sum", labels) + " " + u64(s->sum_us) + "\n";
+    out += series_name(base + "_count", labels) + " " + u64(s->count) + "\n";
   }
-  out += base + "_bucket{le=\"+Inf\"} " + u64(s.count) + "\n";
-  out += base + "_sum " + u64(s.sum_us) + "\n";
-  out += base + "_count " + u64(s.count) + "\n";
   // Exact-rank percentile gauges ride in their own family: quantile samples
   // inside a histogram family would be invalid exposition.
   family_header(out, base + "_quantile",
-                "Exact-rank quantiles of \"" + reg_name +
+                "Exact-rank quantiles of \"" + reg_base +
                     "\" (lower edge of the bucket holding the rank).",
                 "gauge");
-  for (double q : {0.5, 0.99, 0.999})
-    out += base + "_quantile{q=\"" + prom_num(q) + "\"} " +
-           prom_num(s.percentile(q)) + "\n";
+  for (const auto& [labels, s] : fam)
+    for (double q : {0.5, 0.99, 0.999})
+      out += base + "_quantile{" + (labels.empty() ? "" : labels + ",") +
+             "q=\"" + prom_num(q) + "\"} " + prom_num(s->percentile(q)) + "\n";
 }
 
 }  // namespace
@@ -93,35 +154,41 @@ std::string prom_escape_label(const std::string& value) {
 
 std::string render_prometheus(const RegistrySnapshot& snap) {
   std::string out;
-  // One walk over the merged, sorted name space so families appear in
+  // Labeled series ("base{model=x}") collapse into one family per base name
+  // with one HELP/TYPE header and a sample line per label set; grouping
+  // happens before the merge so "server.requests" and
+  // "server.requests{model=x}" never split a family.
+  const auto counters = group_families(snap.counters);
+  const auto gauges = group_families(snap.gauges);
+  const auto hists = group_families(snap.histograms);
+  // One walk over the merged, sorted base-name space so families appear in
   // registry order regardless of kind.
-  auto ci = snap.counters.begin();
-  auto gi = snap.gauges.begin();
-  auto hi = snap.histograms.begin();
-  while (ci != snap.counters.end() || gi != snap.gauges.end() ||
-         hi != snap.histograms.end()) {
-    // Smallest pending name wins; names are unique across kinds (the
+  auto ci = counters.begin();
+  auto gi = gauges.begin();
+  auto hi = hists.begin();
+  while (ci != counters.end() || gi != gauges.end() || hi != hists.end()) {
+    // Smallest pending base name wins; names are unique across kinds (the
     // registry rejects cross-kind collisions).
     const std::string* next = nullptr;
-    if (ci != snap.counters.end()) next = &ci->first;
-    if (gi != snap.gauges.end() && (!next || gi->first < *next))
-      next = &gi->first;
-    if (hi != snap.histograms.end() && (!next || hi->first < *next))
-      next = &hi->first;
-    if (ci != snap.counters.end() && &ci->first == next) {
+    if (ci != counters.end()) next = &ci->first;
+    if (gi != gauges.end() && (!next || gi->first < *next)) next = &gi->first;
+    if (hi != hists.end() && (!next || hi->first < *next)) next = &hi->first;
+    if (ci != counters.end() && &ci->first == next) {
       const std::string name = prom_name(ci->first) + "_total";
       family_header(out, name, "CorrectNet counter \"" + ci->first + "\".",
                     "counter");
-      out += name + " " + u64(ci->second) + "\n";
+      for (const auto& [labels, v] : ci->second)
+        out += series_name(name, labels) + " " + u64(*v) + "\n";
       ++ci;
-    } else if (gi != snap.gauges.end() && &gi->first == next) {
+    } else if (gi != gauges.end() && &gi->first == next) {
       const std::string name = prom_name(gi->first);
       family_header(out, name, "CorrectNet gauge \"" + gi->first + "\".",
                     "gauge");
-      out += name + " " + prom_num(gi->second) + "\n";
+      for (const auto& [labels, v] : gi->second)
+        out += series_name(name, labels) + " " + prom_num(*v) + "\n";
       ++gi;
     } else {
-      render_histogram(out, hi->first, hi->second);
+      render_histogram_family(out, hi->first, hi->second);
       ++hi;
     }
   }

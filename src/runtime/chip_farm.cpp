@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "exec/target.h"
 #include "obs/metrics.h"
@@ -92,12 +93,34 @@ void ChipFarm::populate(int64_t slot, int64_t s) {
   Slot& sl = slots_[static_cast<size_t>(slot)];
   Rng rng(chip_seed(s));
   if (crossbar_) {
-    const bool remapping = opts_.remap.active();
+    bool remapping = opts_.remap.active();
+    // A drilled chip programs with the farm's faults plus the drill's,
+    // in table order after the base list — identical to a farm built with
+    // the combined list. The shared_ptrs copied here keep the models alive
+    // through programming even if clear_drill() races this build.
+    analog::FaultList effective = faults_;
+    DrillEntry drill_entry;
+    remap::RemapParams drill_remap;
+    const remap::RemapParams* rp = remapping ? &opts_.remap : nullptr;
+    {
+      std::lock_guard<std::mutex> lk(drill_mu_);
+      const auto it = drills_.find(s);
+      if (it != drills_.end()) drill_entry = it->second;
+    }
+    for (const auto& m : drill_entry.models) effective.push_back(m.get());
+    if (drill_entry.remap_repair && !remapping) {
+      drill_remap.enabled = true;
+      rp = &drill_remap;
+      remapping = true;
+    }
     sl.model = std::make_unique<nn::Sequential>(analog::program_to_crossbars(
-        base_, dev_, rng, opts_.tile, faults_.empty() ? nullptr : &faults_,
-        opts_.first_site, remapping ? &opts_.remap : nullptr, target_));
+        base_, dev_, rng, opts_.tile,
+        effective.empty() ? nullptr : &effective, opts_.first_site, rp,
+        target_));
     analog::set_read_seeds(*sl.model, read_seed(s));
-    if (remapping) {
+    // remap_stats_ is sized only for farm-level remapping; a drill-only
+    // repair still runs the controller but keeps no per-chip accounting.
+    if (remapping && !remap_stats_.empty()) {
       remap_stats_[static_cast<size_t>(s)] = analog::collect_remap_stats(*sl.model);
       remap_stats_known_[static_cast<size_t>(s)] = 1;
       // Running totals of repair work across every chip build in the process
@@ -119,6 +142,46 @@ remap::RemapStats ChipFarm::chip_remap_stats(int64_t s) {
   if (remap_stats_.empty()) return {};
   if (!remap_stats_known_[static_cast<size_t>(s)]) chip(s);
   return remap_stats_[static_cast<size_t>(s)];
+}
+
+void ChipFarm::drill(
+    const std::vector<int64_t>& chips,
+    std::vector<std::shared_ptr<const analog::FaultModel>> faults,
+    bool remap_repair) {
+  if (!crossbar_)
+    throw std::invalid_argument(
+        "ChipFarm::drill: fault drills need crossbar mode (factor chips have "
+        "no devices to degrade)");
+  if (faults.empty())
+    throw std::invalid_argument("ChipFarm::drill: empty fault list");
+  if (chips.empty())
+    throw std::invalid_argument("ChipFarm::drill: empty chip list");
+  for (int64_t s : chips)
+    if (s < 0 || s >= opts_.instances)
+      throw std::out_of_range("ChipFarm::drill: bad chip index " +
+                              std::to_string(s));
+  obs::metrics().counter("farm.drills").add(1);
+  std::lock_guard<std::mutex> lk(drill_mu_);
+  for (int64_t s : chips) drills_[s] = DrillEntry{faults, remap_repair};
+}
+
+void ChipFarm::clear_drill() {
+  std::lock_guard<std::mutex> lk(drill_mu_);
+  drills_.clear();
+}
+
+bool ChipFarm::drilled(int64_t s) const {
+  std::lock_guard<std::mutex> lk(drill_mu_);
+  return drills_.count(s) != 0;
+}
+
+void ChipFarm::invalidate(int64_t s) {
+  if (s < 0 || s >= opts_.instances)
+    throw std::out_of_range("ChipFarm::invalidate: bad chip index");
+  Slot& sl = slots_[static_cast<size_t>(s % num_live())];
+  if (sl.sample == s) sl.sample = -1;
+  if (!remap_stats_known_.empty())
+    remap_stats_known_[static_cast<size_t>(s)] = 0;
 }
 
 void ChipFarm::reconfigure(uint64_t seed, int64_t first_site) {

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "analog/crossbar_layers.h"
@@ -95,6 +97,30 @@ class ChipFarm {
   /// materialized on demand.
   remap::RemapStats chip_remap_stats(int64_t s);
 
+  /// Live fault drill (crossbar mode only): marks logical chips as degraded.
+  /// The next (re)materialization of a drilled chip programs it with `faults`
+  /// stacked after the farm's own fault list, drawing the realization from
+  /// the chip's own seed — so a drilled chip is byte-identical to a fresh
+  /// farm built with the combined list (seed purity survives the drill).
+  /// `remap_repair` additionally runs the fault-aware remap controller on the
+  /// drilled chip even when the farm itself has remapping off. The farm
+  /// shares ownership of the models; callers may drop theirs. Does NOT
+  /// invalidate live slots — call invalidate() from the thread that owns the
+  /// slot (InferenceServer workers rebuild between batches).
+  void drill(const std::vector<int64_t>& chips,
+             std::vector<std::shared_ptr<const analog::FaultModel>> faults,
+             bool remap_repair = false);
+  /// Clears every drill entry; drilled chips return to their clean form at
+  /// the next invalidate()+chip() cycle.
+  void clear_drill();
+  /// Whether logical chip s currently carries a drill entry.
+  bool drilled(int64_t s) const;
+
+  /// Drops the materialized model in chip s's slot so the next chip(s) call
+  /// re-programs it — the live-drill rebuild seam. Caller must own the slot
+  /// per the threading contract above.
+  void invalidate(int64_t s);
+
   /// The clean base model the chips were derived from.
   const nn::Sequential& base() const { return base_; }
 
@@ -123,6 +149,16 @@ class ChipFarm {
   // flag writes don't share words).
   std::vector<remap::RemapStats> remap_stats_;
   std::vector<uint8_t> remap_stats_known_;
+
+  // Live-drill table: logical chip -> extra fault models (+ repair flag),
+  // consulted by populate(). Guarded by its own mutex because drill() is
+  // called from a control thread while workers materialize chips.
+  struct DrillEntry {
+    std::vector<std::shared_ptr<const analog::FaultModel>> models;
+    bool remap_repair = false;
+  };
+  mutable std::mutex drill_mu_;
+  std::map<int64_t, DrillEntry> drills_;
 };
 
 }  // namespace cn::runtime

@@ -21,6 +21,7 @@
 // histograms) into obs::MetricsRegistry — see docs/OBSERVABILITY.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -28,6 +29,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +52,57 @@ struct InferenceServerOptions {
   // if that is also 0 the server runs without SLO tracking.
   double slo_p99_ms = 0;
   double slo_window_s = 60;
+  // Model id for multi-model serving (ModelRouter sets it): labels every
+  // server.* metric as {model=<id>} and tags the /statusz section. Empty =
+  // unlabeled single-model metrics (the pre-router names).
+  std::string model;
+  // Admission control. All three gates default off; any non-zero value
+  // arms admission and registers a /healthz probe reflecting accepting().
+  //  - queue_limit: reject once the queue holds this many requests
+  //  - queue_budget_us: reject once estimated queue wait (depth x EWMA
+  //    per-request service time / active workers) exceeds this budget
+  //  - admission_burn_max: reject while the SLO burn rate exceeds this
+  //    (requires an SLO objective; the tracker turns from a read-out into
+  //    a control input). Burn is read from the last computed window —
+  //    stats()/scrape polls advance it.
+  // Rejections resolve the returned future with a typed Overloaded error —
+  // fast, never growing the queue.
+  int64_t queue_limit = 0;
+  int64_t queue_budget_us = 0;
+  double admission_burn_max = 0;
+};
+
+/// Typed overload rejection: admission control resolves the submitted
+/// request's future with this error instead of queueing it.
+class Overloaded : public std::runtime_error {
+ public:
+  Overloaded(std::string model, int64_t queue_depth, double est_wait_us,
+             const std::string& reason);
+  const std::string& model() const noexcept { return model_; }
+  int64_t queue_depth() const noexcept { return queue_depth_; }
+  double est_wait_us() const noexcept { return est_wait_us_; }
+
+ private:
+  std::string model_;
+  int64_t queue_depth_;
+  double est_wait_us_;
+};
+
+/// A serve-path fault drill: degrade, remap-repair, or evict N of the
+/// server's M workers mid-traffic (see InferenceServer::drill). Fault
+/// models are shared-owned so drill specs built from faultsim::FaultSpec
+/// outlive the spec object.
+struct DrillSpec {
+  enum class Action {
+    kDegrade,  // rebuild the worker's chip with the faults injected
+    kRemap,    // kDegrade + run the fault-aware remap repair on the chip
+    kEvict,    // take the worker out of rotation (siblings absorb its load)
+  };
+  Action action = Action::kDegrade;
+  std::vector<int> workers;  // worker indices to afflict
+  // Fault models stacked onto the farm's own list (required for kDegrade /
+  // kRemap; ignored by kEvict). faultsim::FaultSpec::models is this shape.
+  std::vector<std::shared_ptr<const analog::FaultModel>> faults;
 };
 
 struct ServerStats {
@@ -71,6 +124,18 @@ struct ServerStats {
   double slo_p99_ms = 0;          // the objective
   double slo_window_p99_us = 0;   // p99 over the sliding window
   double slo_burn_rate = 0;       // error-budget burn (1.0 = at budget)
+  // Serving-policy state.
+  std::string model;              // "" = single-model server
+  bool admission_configured = false;
+  bool accepting = true;          // current admission state (healthz input)
+  uint64_t rejected = 0;          // Overloaded-rejected submits
+  int64_t queue_depth = 0;        // queued requests at snapshot time
+  int64_t max_queue_depth = 0;    // deepest the queue has ever been
+  double est_wait_us = 0;         // current estimated queue wait
+  // Fault-drill state.
+  int active_workers = 0;         // workers in rotation (not evicted)
+  int drilled_workers = 0;        // workers serving a degraded/remapped chip
+  uint64_t drills = 0;            // drill() invocations
 
   double avg_batch() const {
     return batches ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
@@ -103,8 +168,29 @@ class InferenceServer {
   std::future<Tensor> submit(Tensor input);
 
   /// Processes every queued request, then stops the workers. Idempotent;
-  /// also called by the destructor.
+  /// also called by the destructor. The last live server in the process
+  /// clears the global exposition server's readiness — /healthz must stop
+  /// saying "ok" once nothing can serve.
   void shutdown();
+
+  /// Applies a fault drill mid-traffic: the afflicted workers rebuild their
+  /// chips (with the drill faults injected, and remap repair for kRemap)
+  /// between batches on their own threads — in-flight and queued requests
+  /// are never failed, siblings keep draining the shared queue meanwhile.
+  /// kEvict parks the workers instead. Throws if the drill would leave no
+  /// active worker, if a worker index is out of range, or (for fault
+  /// actions) if the farm is not a crossbar farm.
+  void drill(const DrillSpec& spec);
+  /// Lifts every drill: evicted workers rejoin, degraded chips rebuild
+  /// clean on their next batch.
+  void undrill();
+
+  /// Current admission state: false while admission control is rejecting
+  /// (flips back once the queue drains under its limits). Mirrored into the
+  /// /healthz probe the server registers when admission is configured.
+  bool accepting() const { return accepting_.load(std::memory_order_relaxed); }
+
+  const std::string& model() const { return opts_.model; }
 
   ServerStats stats() const;
 
@@ -115,8 +201,24 @@ class InferenceServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  // Per-worker drill control. epoch bumps tell the worker to re-fetch its
+  // chip from the farm (rebuilds happen on the worker's own thread, between
+  // batches, honoring the farm threading contract); evicted parks it.
+  struct WorkerCtl {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> evicted{false};
+    std::atomic<bool> drilled{false};
+  };
+
   void worker_loop(int worker);
   void run_batch(nn::Sequential& chip, std::vector<Request>& batch);
+  // Estimated queue wait for `depth` queued requests, from the EWMA
+  // per-request service time and the active worker count.
+  double estimate_wait_us(int64_t depth) const;
+  // The admission decision for the current queue state; returns the gate
+  // that fired (nullptr = admit). Caller holds mu_.
+  const char* admission_reject_reason(int64_t depth, double* est_out) const;
+  int count_active_workers() const;
 
   ChipFarm& farm_;
   InferenceServerOptions opts_;
@@ -133,6 +235,21 @@ class InferenceServer {
   std::chrono::steady_clock::time_point last_done_;
   bool saw_submit_ = false;
 
+  // Admission state. accepting_ is the /healthz probe input; the EWMA
+  // per-request service time feeds the queue-wait estimate (relaxed atomics:
+  // concurrent worker updates may interleave, fine for an estimate).
+  std::atomic<bool> accepting_{true};
+  std::atomic<double> ewma_req_us_{0};
+  int64_t max_queue_depth_ = 0;  // guarded by mu_
+
+  // Drill state: one ctl per worker (unique_ptr: atomics don't move), plus
+  // the lifecycle flags for the refcounted exposition readiness and the
+  // registered healthz probe.
+  std::vector<std::unique_ptr<WorkerCtl>> worker_ctl_;
+  std::atomic<uint64_t> drill_count_{0};
+  bool lifecycle_released_ = false;  // guarded by mu_
+  int healthz_probe_ = 0;            // 0 = none registered
+
   // Per-server latency histogram backing the stats() percentiles (always
   // recording — it is a product feature, not optional instrumentation), plus
   // cached handles into the process-wide registry (gated by its enabled
@@ -140,7 +257,10 @@ class InferenceServer {
   obs::LatencyHistogram latency_us_;
   obs::Counter& m_requests_;
   obs::Counter& m_batches_;
+  obs::Counter& m_rejected_;
+  obs::Counter& m_drills_;
   obs::Gauge& m_queue_depth_;
+  obs::Gauge& m_workers_active_;
   obs::LatencyHistogram& m_latency_us_;
   obs::LatencyHistogram& m_batch_size_;
 

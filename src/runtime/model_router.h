@@ -1,0 +1,114 @@
+// ModelRouter: the multi-model serving-policy layer over InferenceServer.
+//
+// A router owns one "lane" per registered model id — a dedicated ChipFarm
+// slice plus an InferenceServer over it — and routes submit(model_id, input)
+// by id. Lanes are independent serving domains: each has its own queue,
+// workers, admission control, stats, and {model=<id>}-labeled server.*
+// metrics, so one overloaded model rejects without touching its siblings
+// (the multi-tenant isolation property).
+//
+// The one shared resource is chip memory: ModelRouterOptions::max_live_total
+// caps the sum of live farm slots across every lane. add_model() charges its
+// farm's live slots against the budget — clamping a lane's slots (with a
+// log notice) when the remainder is short, and refusing the lane outright
+// when the budget is exhausted. The farm's own laziness keeps the bound
+// real: live slots are the only chip-sized allocations.
+//
+// Fault drills route through the lane: drill(id, spec) degrades, remaps, or
+// evicts workers of one model while other lanes keep serving untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/chip_farm.h"
+#include "runtime/inference_server.h"
+
+namespace cn::runtime {
+
+struct ModelRouterOptions {
+  // Total live farm slots across every registered model; 0 = uncapped.
+  int64_t max_live_total = 0;
+};
+
+class ModelRouter {
+ public:
+  explicit ModelRouter(const ModelRouterOptions& opts = {});
+  ~ModelRouter();  // shuts every lane down (readiness refcount drains)
+
+  ModelRouter(const ModelRouter&) = delete;
+  ModelRouter& operator=(const ModelRouter&) = delete;
+
+  /// Registers model `id` backed by a factor-mode farm (fast path). The
+  /// farm options' live slots are charged against the shared budget; the
+  /// server options' model label is forced to `id`. Throws on a duplicate
+  /// id or an exhausted budget.
+  void add_model(const std::string& id, const nn::Sequential& base,
+                 const analog::VariationModel& vm, ChipFarmOptions farm_opts,
+                 InferenceServerOptions server_opts = {});
+  /// Registers model `id` backed by a crossbar-mode farm (device-level
+  /// substrate; fault drills need this mode).
+  void add_model(const std::string& id, const nn::Sequential& base,
+                 const analog::RramDeviceParams& dev, ChipFarmOptions farm_opts,
+                 InferenceServerOptions server_opts = {},
+                 analog::FaultList faults = {});
+
+  /// Routes one input to model `id`'s lane. Unknown ids throw
+  /// std::out_of_range; admission rejections resolve the future with
+  /// Overloaded (see InferenceServer::submit).
+  std::future<Tensor> submit(const std::string& id, Tensor input);
+
+  /// The lane's server / farm (throws std::out_of_range on unknown ids).
+  InferenceServer& server(const std::string& id);
+  ChipFarm& farm(const std::string& id);
+
+  /// Fault drill against one lane (InferenceServer::drill semantics).
+  void drill(const std::string& id, const DrillSpec& spec);
+  void undrill(const std::string& id);
+
+  std::vector<std::string> model_ids() const;
+  std::map<std::string, ServerStats> stats() const;
+
+  int64_t live_slots_used() const;
+
+  /// Shuts down every lane's server (idempotent; the dtor also runs it).
+  void shutdown();
+
+ private:
+  struct Lane {
+    std::unique_ptr<ChipFarm> farm;
+    std::unique_ptr<InferenceServer> server;  // declared after farm: dies first
+  };
+
+  Lane& lane(const std::string& id);
+  // Applies the shared live-slot budget to a lane about to be added:
+  // resolves the farm options' max_live against the remaining budget
+  // (clamping with a log notice) or throws when none remains. Caller holds
+  // mu_.
+  void charge_budget(const std::string& id, ChipFarmOptions& fo);
+  // Shared add_model body: reserves the lane and its budget under mu_, then
+  // builds the farm/server OUTSIDE the lock — the server ctor registers a
+  // /statusz section (global sections lock), and a concurrent scrape holds
+  // that lock while calling our section's stats(); holding mu_ across the
+  // build would invert the order and deadlock.
+  void add_lane(
+      const std::string& id, ChipFarmOptions farm_opts,
+      InferenceServerOptions server_opts,
+      const std::function<std::unique_ptr<ChipFarm>(const ChipFarmOptions&)>&
+          build_farm);
+
+  ModelRouterOptions opts_;
+  mutable std::mutex mu_;
+  // std::map for node stability: lane references stay valid across inserts.
+  std::map<std::string, Lane> lanes_;
+  int64_t live_slots_used_ = 0;
+  int statusz_section_ = 0;
+};
+
+}  // namespace cn::runtime

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "faultsim/campaign.h"
+#include "runtime/serving_config.h"
 
 namespace cn::core {
 namespace {
@@ -159,6 +160,82 @@ TEST(ConfigDocs, CampaignTableMatchesDeclaredKeySet) {
 TEST(KeyValueConfig, MissingFileThrows) {
   EXPECT_THROW(KeyValueConfig::from_file("/nonexistent/campaign.cfg"),
                std::runtime_error);
+}
+
+TEST(ConfigDocs, ServingTableMatchesDeclaredKeySet) {
+  // Same contract as the campaign table, for the serving-policy key set:
+  // docs/CONFIG.md's `serving-keys:begin/end` table must stay in lockstep
+  // with runtime::serving_config_keys().
+  std::ifstream in(std::string(CN_SOURCE_DIR) + "/docs/CONFIG.md");
+  ASSERT_TRUE(in.is_open()) << "docs/CONFIG.md missing under " << CN_SOURCE_DIR;
+
+  std::set<std::string> documented;
+  std::string line;
+  bool in_table = false;
+  while (std::getline(in, line)) {
+    if (line.find("serving-keys:begin") != std::string::npos) in_table = true;
+    if (line.find("serving-keys:end") != std::string::npos) in_table = false;
+    if (!in_table || line.rfind("| `", 0) != 0) continue;
+    const size_t open = line.find('`');
+    const size_t close = line.find('`', open + 1);
+    ASSERT_NE(close, std::string::npos) << "unterminated key cell: " << line;
+    documented.insert(line.substr(open + 1, close - open - 1));
+  }
+  ASSERT_FALSE(documented.empty())
+      << "serving-keys markers or table rows missing from docs/CONFIG.md";
+
+  const auto& declared_list = runtime::serving_config_keys();
+  const std::set<std::string> declared(declared_list.begin(),
+                                       declared_list.end());
+  for (const std::string& k : declared)
+    EXPECT_TRUE(documented.count(k))
+        << "key `" << k << "` is declared in serving_config_keys() but "
+        << "undocumented in docs/CONFIG.md";
+  for (const std::string& k : documented)
+    EXPECT_TRUE(declared.count(k))
+        << "key `" << k << "` is documented in docs/CONFIG.md but not "
+        << "declared in serving_config_keys()";
+}
+
+TEST(ServingConfig, ParsesOverridesAndDefaults) {
+  const KeyValueConfig cfg = KeyValueConfig::from_string(
+      "models = alpha, beta\nchips = 3\nworkers = 4\nqueue_limit = 32\n"
+      "queue_budget_us = 5000\ndrill.kind = stuck_at\ndrill.severity = 0.05\n"
+      "drill.workers = 1, 2\ndrill.action = evict\n");
+  const runtime::ServingConfig sc = runtime::serving_from_config(cfg);
+  ASSERT_EQ(sc.models.size(), 2u);
+  EXPECT_EQ(sc.models[0], "alpha");
+  EXPECT_EQ(sc.models[1], "beta");
+  EXPECT_EQ(sc.chips, 3);
+  EXPECT_EQ(sc.workers, 4);
+  EXPECT_EQ(sc.queue_limit, 32);
+  EXPECT_EQ(sc.queue_budget_us, 5000);
+  EXPECT_EQ(sc.drill_kind, "stuck_at");
+  EXPECT_EQ(sc.drill_action, "evict");
+  ASSERT_EQ(sc.drill_workers.size(), 2u);
+  EXPECT_EQ(sc.drill_workers[0], 1);
+  EXPECT_EQ(sc.drill_workers[1], 2);
+  // Untouched knobs keep their defaults.
+  EXPECT_EQ(sc.max_batch, 16);
+  EXPECT_EQ(sc.live_slots, 0);
+}
+
+TEST(ServingConfig, RejectsMalformedDeployments) {
+  auto parse = [](const std::string& text) {
+    return runtime::serving_from_config(KeyValueConfig::from_string(text));
+  };
+  EXPECT_THROW(parse("models = alpha, alpha\n"), std::runtime_error)
+      << "duplicate model ids";
+  EXPECT_THROW(parse("models = alpha,,beta\n"), std::runtime_error)
+      << "empty model id cell";
+  EXPECT_THROW(parse("models = a\nworkers = 0\n"), std::runtime_error);
+  EXPECT_THROW(parse("models = a\nqueue_limit = -1\n"), std::runtime_error);
+  EXPECT_THROW(parse("models = a\ndrill.action = reboot\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("models = a\nworkers = 2\ndrill.workers = 2\n"),
+               std::runtime_error)
+      << "drill worker index outside [0, workers)";
+  EXPECT_THROW(parse("models = a\nbogus_key = 1\n"), std::runtime_error);
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include "obs/snapshot_stream.h"
 #include "runtime/chip_farm.h"
 #include "runtime/inference_server.h"
+#include "runtime/model_router.h"
 
 namespace cn {
 namespace {
@@ -95,10 +96,21 @@ size_t parse_labels(const std::string& s, size_t p,
 struct PromChecker {
   std::map<std::string, std::string> family_type;  // name -> counter|gauge|histogram
   std::map<std::string, bool> family_has_help;
-  // Per histogram family: the running bucket counts and the _count value.
+  // Histogram bucket bookkeeping is per *series* (family + labels minus
+  // "le"): labeled metrics put several series in one family, each with its
+  // own cumulative bucket ladder and _count.
   std::map<std::string, std::vector<uint64_t>> bucket_series;
   std::map<std::string, uint64_t> inf_value, count_value;
+  std::map<std::string, bool> family_saw_inf;
   std::string err;
+
+  static std::string series_key(const std::string& family,
+                                const std::map<std::string, std::string>& labels) {
+    std::string key = family;
+    for (const auto& [k, v] : labels)
+      if (k != "le") key += "|" + k + "=" + v;
+    return key;
+  }
 
   bool fail(const std::string& e, const std::string& line) {
     err = e + ": " + line;
@@ -165,23 +177,29 @@ struct PromChecker {
       } else if (name == family + "_bucket") {
         if (!labels.count("le")) return fail("_bucket without le", line);
         const uint64_t v = std::stoull(value);
-        auto& series = bucket_series[family];
+        const std::string key = series_key(family, labels);
+        auto& series = bucket_series[key];
         if (!series.empty() && v < series.back())
           return fail("buckets not cumulative", line);
         series.push_back(v);
-        if (labels["le"] == "+Inf") inf_value[family] = v;
+        if (labels["le"] == "+Inf") {
+          inf_value[key] = v;
+          family_saw_inf[family] = true;
+        }
       } else if (name == family + "_count") {
-        count_value[family] = std::stoull(value);
+        count_value[series_key(family, labels)] = std::stoull(value);
       }
     }
     for (const auto& [fam, type] : family_type) {
       if (type != "histogram") continue;
-      if (!inf_value.count(fam)) {
+      if (!family_saw_inf.count(fam)) {
         err = "histogram " + fam + " missing +Inf bucket";
         return false;
       }
-      if (inf_value[fam] != count_value[fam]) {
-        err = "histogram " + fam + " +Inf != _count";
+    }
+    for (const auto& [key, v] : inf_value) {
+      if (!count_value.count(key) || count_value[key] != v) {
+        err = "histogram series " + key + " +Inf != _count";
         return false;
       }
     }
@@ -647,6 +665,228 @@ TEST(ExpositionInvariant, CampaignReportByteIdenticalUnderLiveScraping) {
   // And the page really was live mid-run: the campaign gauges are visible.
   const std::string page = obs::render_statusz(true);
   EXPECT_NE(page.find("campaign:"), std::string::npos);
+}
+
+// ---------- labeled metrics (multi-model serving) ----------
+
+TEST(Prometheus, LabeledSeriesShareOneFamilyPerBaseName) {
+  obs::MetricsRegistry reg;
+  reg.counter(obs::labeled("demo.requests", "model", "alpha")).add(3);
+  reg.counter(obs::labeled("demo.requests", "model", "beta")).add(5);
+  reg.histogram(obs::labeled("demo.lat_us", "model", "alpha")).record(100);
+  LatencyHistogram& hb =
+      reg.histogram(obs::labeled("demo.lat_us", "model", "beta"));
+  hb.record(200);
+  hb.record(400);
+  const std::string page = obs::render_prometheus(reg);
+
+  PromChecker pc;
+  ASSERT_TRUE(pc.check(page)) << pc.err;
+  // One HELP/TYPE per base name, one sample line per label set — labeled
+  // series must merge into a family, not render as N clashing families.
+  size_t types = 0;
+  for (size_t p = page.find("# TYPE correctnet_demo_requests_total counter");
+       p != std::string::npos;
+       p = page.find("# TYPE correctnet_demo_requests_total counter", p + 1))
+    ++types;
+  EXPECT_EQ(types, 1u);
+  EXPECT_NE(page.find("correctnet_demo_requests_total{model=\"alpha\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(page.find("correctnet_demo_requests_total{model=\"beta\"} 5\n"),
+            std::string::npos);
+  // Histogram series carry the model label on every bucket, with le last.
+  EXPECT_NE(page.find("correctnet_demo_lat_us_bucket{model=\"alpha\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("correctnet_demo_lat_us_bucket{model=\"beta\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(page.find("correctnet_demo_lat_us_count{model=\"beta\"} 2"),
+            std::string::npos);
+
+  // The composer validates: label keys and values must stay inside the
+  // registry-name-safe alphabet.
+  EXPECT_THROW(obs::labeled("x.y", "bad key", "v"), std::invalid_argument);
+  EXPECT_THROW(obs::labeled("x.y", "k", "a,b"), std::invalid_argument);
+  EXPECT_THROW(obs::labeled("x.y", "k", "a=b"), std::invalid_argument);
+  // Composition: a second label extends the existing set.
+  EXPECT_EQ(obs::labeled(obs::labeled("x.y", "k", "v"), "k2", "v2"),
+            "x.y{k=v,k2=v2}");
+}
+
+// ---------- serving lifecycle on /healthz ----------
+
+TEST(ExpositionServer, ReadinessClearsAfterLastServerShutdown) {
+  obs::ExpositionServer& srv = obs::ExpositionServer::start_global(0);
+  Rng rng(3);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  runtime::ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  runtime::ChipFarm farm_a(model, none, fo);
+  runtime::ChipFarm farm_b(model, none, fo);
+  runtime::InferenceServerOptions so;
+  so.workers = 1;
+  runtime::InferenceServer a(farm_a, so);
+  runtime::InferenceServer b(farm_b, so);
+  EXPECT_EQ(http_status(obs::http_get_local(srv.port(), "/healthz")), 200);
+
+  // Regression: readiness is refcounted — the first shutdown must NOT clear
+  // it while a sibling server can still serve...
+  a.shutdown();
+  EXPECT_EQ(http_status(obs::http_get_local(srv.port(), "/healthz")), 200);
+  // ...but the last shutdown must. (The original bug: /healthz kept
+  // answering "ok" forever after every server was gone.)
+  b.shutdown();
+  const std::string r = obs::http_get_local(srv.port(), "/healthz");
+  EXPECT_EQ(http_status(r), 503);
+  EXPECT_EQ(http_body(r), "not ready\n");
+}
+
+TEST(ExpositionServer, AdmissionProbeFlipsHealthzAndRecovers) {
+  obs::ExpositionServer& srv = obs::ExpositionServer::start_global(0);
+  Rng rng(3);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  runtime::ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  runtime::ChipFarm farm(model, none, fo);
+  runtime::InferenceServerOptions so;
+  so.max_batch = 32;        // worker only pulls on a 300ms-old request, so
+  so.max_wait_us = 300000;  // the queue stalls deterministically
+  so.workers = 1;
+  so.queue_limit = 4;
+  so.model = "probe";
+  data::DigitsSpec spec;
+  spec.train_count = 1;
+  spec.test_count = 8;
+  data::SplitDataset ds = data::make_digits(spec);
+  {
+    runtime::InferenceServer server(farm, so);
+    EXPECT_EQ(http_status(obs::http_get_local(srv.port(), "/healthz")), 200);
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 5; ++i) futs.push_back(server.submit(ds.test.image(i)));
+    // The 5th submit was rejected: the admission probe now fails readiness,
+    // and the body names the degraded probe.
+    EXPECT_FALSE(server.accepting());
+    std::string r = obs::http_get_local(srv.port(), "/healthz");
+    EXPECT_EQ(http_status(r), 503);
+    EXPECT_NE(http_body(r).find("degraded:"), std::string::npos);
+    EXPECT_NE(http_body(r).find("[probe] admission"), std::string::npos);
+    // Drain; admission recovery flips /healthz back to 200.
+    for (int i = 0; i < 4; ++i) futs[static_cast<size_t>(i)].get();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!server.accepting() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(http_status(obs::http_get_local(srv.port(), "/healthz")), 200);
+  }
+  // The probe unregisters with the server: no dangling 503 after its death.
+  // (Readiness itself is cleared now — that is the not-ready 503, not the
+  // degraded one.)
+  const std::string r = obs::http_get_local(srv.port(), "/healthz");
+  EXPECT_EQ(http_status(r), 503);
+  EXPECT_EQ(http_body(r), "not ready\n");
+}
+
+TEST(ExpositionServer, StatuszSectionsDisambiguateServers) {
+  Rng rng(3);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  runtime::ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  runtime::ChipFarm farm_a(model, none, fo);
+  runtime::ChipFarm farm_b(model, none, fo);
+  runtime::InferenceServerOptions so;
+  so.workers = 1;
+  runtime::InferenceServer plain(farm_a, so);
+  so.model = "alpha";
+  runtime::InferenceServer labeled(farm_b, so);
+  // Regression: two live servers used to both register a section titled
+  // "inference server" — indistinguishable on the page. Now each carries a
+  // unique ordinal, and routed servers their model id.
+  const std::string page = obs::render_statusz(true);
+  std::vector<std::string> titles;
+  for (size_t p = page.find("== inference server #"); p != std::string::npos;
+       p = page.find("== inference server #", p + 1))
+    titles.push_back(page.substr(p, page.find(" ==", p) - p));
+  ASSERT_GE(titles.size(), 2u);
+  std::sort(titles.begin(), titles.end());
+  EXPECT_EQ(std::adjacent_find(titles.begin(), titles.end()), titles.end())
+      << "duplicate section titles on /statusz";
+  EXPECT_NE(page.find("[alpha]"), std::string::npos);
+}
+
+// ---------- the invariant, with the serving-policy tier live ----------
+
+TEST(ExpositionInvariant, CampaignReportByteIdenticalWithRouterServing) {
+  // Same contract as above, one tier up: a ModelRouter serving labeled
+  // traffic (its own farms, servers, admission bookkeeping, and metric
+  // series) while the campaign runs must not move a single report byte.
+  Rng rng(1);
+  nn::Sequential model = models::lenet5(1, 28, 10, rng);
+  data::DigitsSpec spec;
+  spec.train_count = 1;
+  spec.test_count = 48;
+  data::SplitDataset ds = data::make_digits(spec);
+
+  auto run_campaign = [&] {
+    faultsim::CampaignOptions co;
+    co.chips = 2;
+    co.seed = 77;
+    co.batch_size = 32;
+    co.parallel_scenarios = 2;
+    co.dev.g_min = 1e-6f;
+    co.dev.g_max = 1e-4f;
+    co.dev.program_sigma = 0.1f;
+    faultsim::Campaign c(co);
+    c.add_model("baseline", model, false);
+    c.add_fault(faultsim::fault_free());
+    c.add_fault(faultsim::stuck_at(0.05));
+    faultsim::CampaignReport r = c.run(ds.test);
+    r.wall_s = 0.0;
+    return r.to_json();
+  };
+
+  const std::string quiet = run_campaign();
+
+  runtime::ModelRouter router;
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  runtime::ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  runtime::InferenceServerOptions so;
+  so.max_batch = 8;
+  so.max_wait_us = 200;
+  so.workers = 1;
+  so.queue_limit = 256;
+  router.add_model("alpha", model, none, fo, so);
+  router.add_model("beta", model, none, fo, so);
+  std::atomic<bool> done{false};
+  std::thread traffic([&] {
+    int64_t i = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      try {
+        router.submit(i % 2 ? "alpha" : "beta", ds.test.image(i % ds.test.size()))
+            .wait();
+      } catch (const std::exception&) {
+      }
+      ++i;
+    }
+  });
+  const std::string served = run_campaign();
+  done.store(true);
+  traffic.join();
+  router.shutdown();
+
+  EXPECT_EQ(served, quiet);
+  // The labeled series really were live alongside the campaign.
+  PromChecker pc;
+  const std::string page = obs::render_prometheus(obs::metrics());
+  EXPECT_TRUE(pc.check(page)) << pc.err;
+  EXPECT_NE(page.find("correctnet_server_requests_total{model=\"alpha\"}"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // per-clone read-noise streams, the indexed scenario scheduler, and the
 // micro-batching InferenceServer.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <stdexcept>
@@ -15,10 +16,12 @@
 #include "core/trainer.h"
 #include "exec_testutil.h"
 #include "data/synthetic.h"
+#include "faultsim/fault_models.h"
 #include "models/lenet.h"
 #include "runtime/chip_farm.h"
 #include "runtime/inference_server.h"
 #include "runtime/mc_engine.h"
+#include "runtime/model_router.h"
 #include "runtime/scheduler.h"
 #include "tensor/ops.h"
 #include "tensor/threadpool.h"
@@ -454,6 +457,287 @@ TEST(InferenceServer, CoalescesConcurrentClientsIntoBatches) {
   EXPECT_LT(st.batches, st.requests);
   EXPECT_GT(st.avg_batch(), 1.0);
   EXPECT_GT(st.throughput_rps(), 0.0);
+}
+
+// ---------- admission control ----------
+
+TEST(Admission, BoundedQueueRejectsTypedOverloadedAndRecovers) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kNone, 0.0f};
+  ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  ChipFarm farm(f.model, vm, fo);
+  InferenceServerOptions so;
+  // The worker pulls only on a full batch (32, never reached) or a 300ms-old
+  // request, so 12 rapid submits hit a deterministically stalled queue.
+  so.max_batch = 32;
+  so.max_wait_us = 300000;
+  so.workers = 1;
+  so.queue_limit = 8;
+  so.model = "tiny";
+  InferenceServer server(farm, so);
+  EXPECT_TRUE(server.accepting());
+
+  std::vector<std::future<Tensor>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(server.submit(f.ds.test.image(i)));
+
+  // Submits 9..12 found the queue at its limit: rejected fast, future
+  // already resolved with the typed error carrying the admission snapshot.
+  int rejected = 0;
+  for (size_t i = 8; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "rejection must resolve the future immediately";
+    try {
+      futs[i].get();
+    } catch (const Overloaded& e) {
+      ++rejected;
+      EXPECT_EQ(e.model(), "tiny");
+      EXPECT_EQ(e.queue_depth(), 8);
+    }
+  }
+  EXPECT_EQ(rejected, 4);
+  EXPECT_FALSE(server.accepting());
+  {
+    const ServerStats st = server.stats();
+    EXPECT_TRUE(st.admission_configured);
+    EXPECT_FALSE(st.accepting);
+    EXPECT_EQ(st.rejected, 4u);
+    EXPECT_EQ(st.max_queue_depth, 8);
+    EXPECT_EQ(st.model, "tiny");
+  }
+
+  // Recovery: once the flush deadline fires the worker drains the queue and
+  // flips admission back on; subsequent submits are admitted again.
+  for (size_t i = 0; i < 8; ++i) futs[i].get();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!server.accepting() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(server.accepting());
+  auto again = server.submit(f.ds.test.image(0));
+  again.get();  // admitted and served
+  EXPECT_EQ(server.stats().requests, 9u);
+}
+
+TEST(Admission, BurnGateRequiresSloObjective) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kNone, 0.0f};
+  ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  ChipFarm farm(f.model, vm, fo);
+  InferenceServerOptions so;
+  so.workers = 1;
+  so.admission_burn_max = 0.5;  // a control input with nothing to read
+  EXPECT_THROW(InferenceServer(farm, so), std::invalid_argument);
+  so.slo_p99_ms = 50;  // objective present: the gate is well-formed
+  InferenceServer ok(farm, so);
+  EXPECT_TRUE(ok.stats().admission_configured);
+}
+
+TEST(Admission, RejectedOrInvalidSubmitsDoNotStartTheWallClock) {
+  auto& f = fixture();
+  analog::VariationModel vm{analog::VariationKind::kNone, 0.0f};
+  ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  ChipFarm farm(f.model, vm, fo);
+  InferenceServerOptions so;
+  so.workers = 1;
+  InferenceServer server(farm, so);
+  server.shutdown();
+  EXPECT_THROW(server.submit(f.ds.test.image(0)), std::logic_error);
+  // Regression: the throughput clock used to be stamped before the stop /
+  // shape checks, so a rejected submit skewed wall_seconds (and thus the
+  // reported req/s) for the whole server lifetime.
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, 0u);
+  EXPECT_EQ(st.wall_seconds, 0.0);
+}
+
+// ---------- fault drills ----------
+
+TEST(ChipFarmDrill, DrilledChipEqualsFreshFarmWithCombinedFaults) {
+  auto& f = fixture();
+  const analog::RramDeviceParams dev = quiet_dev();
+  ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.max_live = 2;
+  fo.seed = 7;
+  ChipFarm farm(f.model, dev, fo);
+  Tensor x = f.ds.test.image(0);
+  Shape bs = x.shape();
+  bs.insert(bs.begin(), 1);
+  x = x.reshaped(bs);
+  const Tensor clean0 = farm.chip(0).forward(x, false);
+  const Tensor clean1 = farm.chip(1).forward(x, false);
+
+  // Drill chip 0; chip 1 must be untouched, and the drilled chip must be
+  // bit-identical to a fresh farm built with the drill faults as its base
+  // fault list (seed purity: a drill is indistinguishable from having
+  // deployed the faulty chip from the start).
+  const faultsim::FaultSpec spec = faultsim::stuck_at(0.05);
+  farm.drill({0}, {spec.models.begin(), spec.models.end()});
+  EXPECT_TRUE(farm.drilled(0));
+  EXPECT_FALSE(farm.drilled(1));
+  farm.invalidate(0);
+  const Tensor drilled0 = farm.chip(0).forward(x, false);
+  ChipFarm ref(f.model, dev, fo, {spec.models.front().get()});
+  const Tensor ref0 = ref.chip(0).forward(x, false);
+  ASSERT_EQ(drilled0.size(), ref0.size());
+  for (int64_t j = 0; j < ref0.size(); ++j)
+    ASSERT_EQ(drilled0[j], ref0[j]) << "logit " << j;
+  for (int64_t j = 0; j < clean1.size(); ++j)
+    ASSERT_EQ(farm.chip(1).forward(x, false)[j], clean1[j]) << "logit " << j;
+
+  // clear_drill + invalidate restores the original chip exactly.
+  farm.clear_drill();
+  farm.invalidate(0);
+  const Tensor restored0 = farm.chip(0).forward(x, false);
+  for (int64_t j = 0; j < clean0.size(); ++j)
+    ASSERT_EQ(restored0[j], clean0[j]) << "logit " << j;
+
+  EXPECT_THROW(farm.drill({}, {spec.models.begin(), spec.models.end()}),
+               std::invalid_argument);
+  EXPECT_THROW(farm.drill({5}, {spec.models.begin(), spec.models.end()}),
+               std::out_of_range);
+  EXPECT_THROW(farm.drill({0}, {}), std::invalid_argument);
+
+  // Factor-mode farms have no device substrate to inject into.
+  analog::VariationModel vm{analog::VariationKind::kLognormal, 0.2f};
+  ChipFarm factor_farm(f.model, vm, fo);
+  EXPECT_THROW(factor_farm.drill({0}, {spec.models.begin(), spec.models.end()}),
+               std::invalid_argument);
+}
+
+TEST(ServerDrill, MidTrafficDrillsNeverFailFuturesAndEvictionIsBounded) {
+  auto& f = fixture();
+  ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.max_live = 2;
+  fo.seed = 7;
+  ChipFarm farm(f.model, quiet_dev(), fo);
+  InferenceServerOptions so;
+  so.max_batch = 8;
+  so.max_wait_us = 500;
+  so.workers = 2;
+  InferenceServer server(farm, so);
+
+  auto submit_phase = [&](int n, std::vector<std::future<Tensor>>& futs) {
+    for (int i = 0; i < n; ++i)
+      futs.push_back(server.submit(f.ds.test.image(i % f.ds.test.size())));
+  };
+  std::vector<std::future<Tensor>> futs;
+  submit_phase(32, futs);
+
+  const faultsim::FaultSpec spec = faultsim::stuck_at(0.02);
+  DrillSpec evict_all;
+  evict_all.action = DrillSpec::Action::kEvict;
+  evict_all.workers = {0, 1};
+  EXPECT_THROW(server.drill(evict_all), std::invalid_argument)
+      << "a drill may never take the last active worker";
+  DrillSpec no_faults;
+  no_faults.action = DrillSpec::Action::kDegrade;
+  no_faults.workers = {0};
+  EXPECT_THROW(server.drill(no_faults), std::invalid_argument);
+
+  DrillSpec evict0;
+  evict0.action = DrillSpec::Action::kEvict;
+  evict0.workers = {0};
+  server.drill(evict0);  // phase-1 requests still in flight
+  submit_phase(32, futs);
+  for (auto& fut : futs) fut.get();  // zero failed futures, by contract
+  {
+    const ServerStats st = server.stats();
+    EXPECT_EQ(st.requests, 64u);
+    EXPECT_EQ(st.active_workers, 1);
+    EXPECT_EQ(st.drills, 1u);
+  }
+
+  server.undrill();
+  DrillSpec remap1;
+  remap1.action = DrillSpec::Action::kRemap;
+  remap1.workers = {1};
+  remap1.faults = spec.models;
+  server.drill(remap1);
+  futs.clear();
+  submit_phase(32, futs);
+  for (auto& fut : futs) fut.get();
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, 96u);
+  EXPECT_EQ(st.active_workers, 2);
+  EXPECT_EQ(st.drilled_workers, 1);
+  EXPECT_EQ(st.drills, 2u);
+  server.undrill();
+}
+
+// ---------- model router ----------
+
+TEST(ModelRouter, RoutesPerModelWithIsolatedStats) {
+  auto& f = fixture();
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  ModelRouter router;
+  ChipFarmOptions fo;
+  fo.instances = 1;
+  fo.max_live = 1;
+  InferenceServerOptions so;
+  so.max_batch = 4;
+  so.max_wait_us = 500;
+  so.workers = 1;
+  router.add_model("alpha", f.model, none, fo, so);
+  router.add_model("beta", f.model, none, fo, so);
+  EXPECT_THROW(router.add_model("alpha", f.model, none, fo, so),
+               std::invalid_argument);
+  EXPECT_THROW(router.submit("gamma", f.ds.test.image(0)), std::out_of_range);
+  EXPECT_EQ(router.server("alpha").model(), "alpha");
+
+  // sigma = 0 lanes serve the clean model: routed outputs must match the
+  // direct forward, per model.
+  Tensor img = f.ds.test.image(3);
+  Shape bs = img.shape();
+  bs.insert(bs.begin(), 1);
+  const Tensor ref = f.model.forward(img.reshaped(bs), false);
+  for (const char* id : {"alpha", "beta"}) {
+    Tensor got = router.submit(id, f.ds.test.image(3)).get();
+    ASSERT_EQ(got.size(), ref.size());
+    for (int64_t j = 0; j < ref.size(); ++j)
+      EXPECT_FLOAT_EQ(got[j], ref[j]) << id << " logit " << j;
+  }
+  router.submit("beta", f.ds.test.image(4)).get();
+
+  const auto ids = router.model_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "alpha");
+  EXPECT_EQ(ids[1], "beta");
+  auto stats = router.stats();
+  EXPECT_EQ(stats.at("alpha").requests, 1u);
+  EXPECT_EQ(stats.at("beta").requests, 2u);
+  EXPECT_EQ(stats.at("alpha").model, "alpha");
+  router.shutdown();
+  router.shutdown();  // idempotent
+}
+
+TEST(ModelRouter, SharedLiveSlotBudgetClampsThenExhausts) {
+  auto& f = fixture();
+  analog::VariationModel none{analog::VariationKind::kNone, 0.0f};
+  ModelRouterOptions ro;
+  ro.max_live_total = 1;
+  ModelRouter router(ro);
+  ChipFarmOptions fo;
+  fo.instances = 2;
+  fo.max_live = 2;  // asks for 2, budget clamps to the remaining 1
+  InferenceServerOptions so;
+  so.workers = 2;  // clamped alongside the farm slots
+  router.add_model("alpha", f.model, none, fo, so);
+  EXPECT_EQ(router.live_slots_used(), 1);
+  EXPECT_THROW(router.add_model("beta", f.model, none, fo, so),
+               std::invalid_argument);
+  // The failed add must not leak a half-registered lane or budget charge.
+  EXPECT_EQ(router.live_slots_used(), 1);
+  ASSERT_EQ(router.model_ids().size(), 1u);
+  router.submit("alpha", f.ds.test.image(0)).get();
+  EXPECT_EQ(router.stats().at("alpha").requests, 1u);
 }
 
 }  // namespace
