@@ -27,6 +27,7 @@
 
 #include "common.h"
 #include "faultsim/campaign.h"
+#include "nn/fusion.h"
 #include "runtime/scheduler.h"
 
 namespace {
@@ -34,13 +35,14 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 cn::faultsim::Campaign make_campaign(const cn::nn::Sequential& model, bool quick,
-                                     int64_t parallel) {
+                                     int64_t parallel, int fusion) {
   using namespace cn;
   faultsim::CampaignOptions co;
   co.chips = quick ? 2 : 6;
   co.seed = 42;
   co.batch_size = 128;
   co.parallel_scenarios = parallel;
+  co.fusion = fusion;
   co.dev.program_sigma = 0.1f;
   faultsim::Campaign c(co);
   c.add_model("baseline", model, false);
@@ -96,12 +98,15 @@ int main(int argc, char** argv) {
   std::printf("  [train] LeNet5-Digits (%d epochs)...\n", cfg.epochs);
   core::train(model, ds.train, ds.test, cfg);
 
-  const int64_t scenarios = make_campaign(model, quick, 1).num_scenarios();
+  const int64_t scenarios = make_campaign(model, quick, 1, 1).num_scenarios();
   std::printf("  [campaign] %lld scenarios, sequential leg...\n",
               static_cast<long long>(scenarios));
 
-  auto timed_run = [&](int64_t parallel, double& wall) {
-    faultsim::Campaign c = make_campaign(model, quick, parallel);
+  // Every leg pins the campaign `fusion` key explicitly (the timing legs and
+  // determinism contracts run fused; the dedicated fusion-off leg below is
+  // the only unfused run), so results don't depend on the ambient knob.
+  auto timed_run = [&](int64_t parallel, int fusion, double& wall) {
+    faultsim::Campaign c = make_campaign(model, quick, parallel, fusion);
     const auto t0 = Clock::now();
     faultsim::CampaignReport r = c.run(ds.test);
     wall = std::chrono::duration<double>(Clock::now() - t0).count();
@@ -109,11 +114,11 @@ int main(int argc, char** argv) {
   };
 
   double wall_seq = 0.0, wall_par = 0.0, wall_rep = 0.0;
-  const faultsim::CampaignReport seq = timed_run(1, wall_seq);
+  const faultsim::CampaignReport seq = timed_run(1, 1, wall_seq);
   const int64_t conc = runtime::effective_concurrency(threads, scenarios);
   std::printf("  [campaign] parallel leg (%lld scenarios at a time)...\n",
               static_cast<long long>(conc));
-  const faultsim::CampaignReport par = timed_run(threads, wall_par);
+  const faultsim::CampaignReport par = timed_run(threads, 1, wall_par);
 
   const int64_t chip_evals = scenarios * seq.chips;
   const double images = static_cast<double>(chip_evals * test_count);
@@ -135,12 +140,29 @@ int main(int argc, char** argv) {
   // run must reproduce it byte for byte.
   const std::string seq_json = normalized_json(seq);
   const bool scheduling_identical = normalized_json(par) == seq_json;
-  const faultsim::CampaignReport repeat = timed_run(threads, wall_rep);
+  const faultsim::CampaignReport repeat = timed_run(threads, 1, wall_rep);
   const bool rerun_identical = normalized_json(repeat) == seq_json;
   std::printf("  [campaign] sequential-vs-parallel byte-identical: %s\n",
               scheduling_identical ? "yes" : "NO");
   std::printf("  [campaign] repeat run byte-identical: %s\n",
               rerun_identical ? "yes" : "NO");
+
+  // Fusion parity: the same sequential campaign with layer-graph fusion
+  // forced off must reproduce the fused report byte for byte (no shipped
+  // model carries batchnorm; every other rewrite is bitwise-exact — the
+  // docs/ARCHITECTURE.md tolerance contract). The delta is runtime only;
+  // the speedup is reported, not asserted (campaign time is dominated by
+  // crossbar evaluation, which fusion does not rewrite).
+  std::printf("  [campaign] fusion-off leg...\n");
+  double wall_foff = 0.0;
+  const faultsim::CampaignReport foff = timed_run(1, 0, wall_foff);
+  nn::reset_fusion_enabled();  // campaign fusion overrides are process-wide
+  const bool fusion_identical = normalized_json(foff) == seq_json;
+  const double fusion_speedup = wall_seq > 0.0 ? wall_foff / wall_seq : 0.0;
+  std::printf("  [campaign] fused: %.2fs  unfused: %.2fs  speedup: %.2fx  "
+              "byte-identical: %s\n",
+              wall_seq, wall_foff, fusion_speedup,
+              fusion_identical ? "yes" : "NO");
 
   bench::BenchJson json("faultsim");
   json.set("quick", quick);
@@ -158,6 +180,9 @@ int main(int argc, char** argv) {
   json.set("grid_mean_acc", seq.mean_accuracy("baseline"));
   json.set("catastrophic", seq.total_catastrophic());
   json.set("deterministic", scheduling_identical && rerun_identical);
+  json.set("fusion_wall_s_off", wall_foff);
+  json.set("fusion_speedup", fusion_speedup);
+  json.set("fusion_identical", fusion_identical);
   json.write();
 
   if (!scheduling_identical) {
@@ -166,6 +191,10 @@ int main(int argc, char** argv) {
   }
   if (!rerun_identical) {
     std::printf("FAIL: campaign re-run diverged\n");
+    return 1;
+  }
+  if (!fusion_identical) {
+    std::printf("FAIL: fusion-off campaign diverged from fused run\n");
     return 1;
   }
   std::printf("done.\n");

@@ -16,6 +16,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -23,6 +25,12 @@
 #include "common.h"
 #include "exec/target.h"
 #include "faultsim/fault_models.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/fusion.h"
+#include "nn/pooling.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "tensor/ops.h"
@@ -70,6 +78,155 @@ int main(int argc, char** argv) {
   json.set("quick", quick);
   json.set("chips", static_cast<int64_t>(chips));
   json.set("test_images", test_count);
+
+  // ---------- layer-graph fusion: fused vs unfused digital forward ----------
+  // Two digital-path legs, both timing core::evaluate over the test set with
+  // the fusion knob forced off vs on. Timed reps interleave the legs (min of
+  // several multi-eval samples), so clock drift hits both sides equally.
+  //
+  //   (a) the trained LeNet5 — no batchnorm, so every engaged rewrite (relu
+  //       epilogues, both pools into the conv epilogues, the flatten
+  //       reshape) is bitwise-exact by contract, asserted on sampled images;
+  //   (b) a conv-bn stack (conv+bn+relu+pool blocks plus an eval dropout) —
+  //       the workload where ALL passes engage, bn-fold included; parity is
+  //       asserted per the pinned kBnFold* tolerance contract.
+  //
+  // Leg (b) is the headline `fusion_speedup` and gates the bench: the pass
+  // pipeline exists to win wall-clock, so below 1.15x fails.
+  {
+    const int reps = quick ? 5 : 5;
+    const int inner = quick ? 6 : 2;  // evaluates per timed sample
+    auto timed_legs = [&](nn::Sequential& m, double& t_unfused,
+                          double& t_fused) {
+      nn::set_fusion_enabled(false);
+      (void)core::evaluate(m, ds.test, 128);  // warm-up (caches)
+      nn::set_fusion_enabled(true);
+      (void)core::evaluate(m, ds.test, 128);  // warm-up (plan build)
+      t_unfused = t_fused = 1e100;
+      for (int r = 0; r < reps; ++r) {
+        for (const bool fused : {false, true}) {
+          nn::set_fusion_enabled(fused);
+          const auto tt = Clock::now();
+          for (int k = 0; k < inner; ++k) (void)core::evaluate(m, ds.test, 128);
+          const double s = seconds_since(tt) / inner;
+          (fused ? t_fused : t_unfused) = std::min(fused ? t_fused : t_unfused, s);
+        }
+      }
+    };
+    auto forward_image = [&](nn::Sequential& m, int64_t i, bool fused) {
+      Tensor img = ds.test.image(i);
+      img.reshape({1, ds.test.channels(), ds.test.height(), ds.test.width()});
+      nn::set_fusion_enabled(fused);
+      return m.forward(img, false);
+    };
+
+    // (a) LeNet5: bitwise parity.
+    double lenet_unfused = 0.0, lenet_fused = 0.0;
+    timed_legs(model, lenet_unfused, lenet_fused);
+    bool bit_identical = true;
+    const int64_t sampled = std::min<int64_t>(test_count, 16);
+    for (int64_t i = 0; i < sampled && bit_identical; ++i) {
+      const Tensor a = forward_image(model, i, false);
+      const Tensor b = forward_image(model, i, true);
+      bit_identical = a.size() == b.size() &&
+                      std::memcmp(a.data(), b.data(),
+                                  static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+    }
+    const double lenet_speedup =
+        lenet_fused > 0 ? lenet_unfused / lenet_fused : 0.0;
+    std::printf("  [fusion] lenet5    unfused: %.3fs  fused: %.3fs  "
+                "speedup: %.2fx  bit-identical (%lld images): %s\n",
+                lenet_unfused, lenet_fused, lenet_speedup,
+                static_cast<long long>(sampled), bit_identical ? "yes" : "NO");
+
+    // (b) conv-bn stack: untrained weights (timing only), batchnorm running
+    // stats warmed by a few train-mode forwards so the fold is non-trivial.
+    Rng frng(4242);
+    nn::Sequential bnm("convbn");
+    auto& c1 = bnm.emplace<nn::Conv2D>(1, 3, 3, 1, 1, 28, 28, "c1");
+    frng.fill_normal(c1.weight().value, 0.0f, 0.3f);
+    frng.fill_normal(c1.bias().value, 0.0f, 0.1f);
+    auto& b1 = bnm.emplace<nn::BatchNorm2D>(3, 0.9f, 1e-5f, "b1");
+    frng.fill_normal(b1.gamma().value, 1.0f, 0.2f);
+    frng.fill_normal(b1.beta().value, 0.0f, 0.2f);
+    bnm.emplace<nn::ReLU>("r1");
+    bnm.emplace<nn::Dropout>(0.25f, 13, "d1");
+    bnm.emplace<nn::MaxPool2D>(2, "p1");
+    auto& c2 = bnm.emplace<nn::Conv2D>(3, 6, 3, 1, 1, 14, 14, "c2");
+    frng.fill_normal(c2.weight().value, 0.0f, 0.3f);
+    frng.fill_normal(c2.bias().value, 0.0f, 0.1f);
+    auto& b2 = bnm.emplace<nn::BatchNorm2D>(6, 0.9f, 1e-5f, "b2");
+    frng.fill_normal(b2.gamma().value, 1.0f, 0.2f);
+    frng.fill_normal(b2.beta().value, 0.0f, 0.2f);
+    bnm.emplace<nn::ReLU>("r2");
+    bnm.emplace<nn::Dropout>(0.25f, 17, "d2");
+    bnm.emplace<nn::AvgPool2D>(2, "p2");
+    bnm.emplace<nn::Flatten>();
+    auto& fc = bnm.emplace<nn::Dense>(6 * 7 * 7, 10, "fc");
+    frng.fill_normal(fc.weight().value, 0.0f, 0.2f);
+    frng.fill_normal(fc.bias().value, 0.0f, 0.1f);
+    {
+      Tensor warm({32, 1, 28, 28});
+      for (int it = 0; it < 3; ++it) {
+        frng.fill_normal(warm, 0.0f, 1.0f);
+        (void)bnm.forward(warm, /*train=*/true);
+      }
+    }
+    double bn_unfused = 0.0, bn_fused = 0.0;
+    timed_legs(bnm, bn_unfused, bn_fused);
+    // Parity per the bn-fold contract: |ulps| <= kBnFoldMaxUlps, or abs diff
+    // within kBnFoldRangeTol of the unfused output range (same predicate as
+    // tests/exec_testutil.h expect_within_ulps).
+    auto ordinal = [](float f) {
+      int32_t i;
+      std::memcpy(&i, &f, sizeof(i));
+      return static_cast<int64_t>(i >= 0 ? i : -(i & 0x7FFFFFFF));
+    };
+    bool within_tol = true;
+    float range = 0.0f;
+    for (int64_t i = 0; i < sampled; ++i) {
+      const Tensor a = forward_image(bnm, i, false);
+      for (int64_t j = 0; j < a.size(); ++j)
+        range = std::max(range, std::abs(a[j]));
+    }
+    for (int64_t i = 0; i < sampled && within_tol; ++i) {
+      const Tensor a = forward_image(bnm, i, false);
+      const Tensor b = forward_image(bnm, i, true);
+      within_tol = a.size() == b.size();
+      for (int64_t j = 0; within_tol && j < a.size(); ++j) {
+        const int64_t ulps = std::llabs(ordinal(a[j]) - ordinal(b[j]));
+        within_tol = ulps <= nn::kBnFoldMaxUlps ||
+                     std::abs(a[j] - b[j]) <= nn::kBnFoldRangeTol * range;
+      }
+    }
+    nn::reset_fusion_enabled();
+    const double fusion_speedup = bn_fused > 0 ? bn_unfused / bn_fused : 0.0;
+    std::printf("  [fusion] conv-bn   unfused: %.3fs  fused: %.3fs  "
+                "speedup: %.2fx  within bn-fold tolerance: %s\n",
+                bn_unfused, bn_fused, fusion_speedup,
+                within_tol ? "yes" : "NO");
+    json.set("fusion_lenet_unfused_s", lenet_unfused);
+    json.set("fusion_lenet_fused_s", lenet_fused);
+    json.set("fusion_lenet_speedup", lenet_speedup);
+    json.set("fusion_bit_identical", bit_identical);
+    json.set("fusion_unfused_s", bn_unfused);
+    json.set("fusion_fused_s", bn_fused);
+    json.set("fusion_speedup", fusion_speedup);
+    json.set("fusion_bn_within_tol", within_tol);
+    if (!bit_identical) {
+      std::printf("FAIL: fused LeNet5 forward diverged from the unfused path\n");
+      return 1;
+    }
+    if (!within_tol) {
+      std::printf("FAIL: fused conv-bn forward outside the bn-fold tolerance\n");
+      return 1;
+    }
+    if (fusion_speedup < 1.15) {
+      std::printf("FAIL: fusion speedup %.2fx below the 1.15x floor\n",
+                  fusion_speedup);
+      return 1;
+    }
+  }
 
   // ---------- MC over programmed crossbar chips: seed path vs runtime ----------
   analog::RramDeviceParams dev;

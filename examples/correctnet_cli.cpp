@@ -14,13 +14,16 @@
 // Subcommand:
 //   correctnet_cli faults [--config PATH] [--out PATH] [--chips N]
 //                         [--epochs N] [--comp-epochs N] [--train N] [--test N]
-//                         [--sigma S] [--target NAME]
+//                         [--sigma S] [--target NAME] [--fusion on|off]
 //                         [--metrics-out F] [--trace-out F]
 //                         [--log-level quiet|info|debug] [--quiet]
 //
 // `--list-targets` prints the execution-target registry (src/exec/target.h);
 // `--target NAME` selects the target crossbar farms execute with (main
 // command: process default; faults subcommand: the campaign `target` key).
+// `--fusion on|off` steers the layer-graph fusion knob the same way (main:
+// nn::set_fusion_enabled process default; faults: the campaign `fusion` key).
+// CORRECTNET_FUSION does the same from the environment; default on.
 //
 // Observability (docs/OBSERVABILITY.md): `--metrics-out F` writes the
 // MetricsRegistry snapshot, `--trace-out F` enables the span tracer and
@@ -54,6 +57,7 @@
 #include "faultsim/campaign.h"
 #include "models/lenet.h"
 #include "models/vgg.h"
+#include "nn/fusion.h"
 #include "nn/serialize.h"
 #include "obs/build_info.h"
 #include "obs/exposition.h"
@@ -82,6 +86,7 @@ struct Args {
   int64_t test = 600;
   std::string save_prefix;
   std::string target;  // crossbar execution target (process default override)
+  std::string fusion;  // on|off: layer-graph fusion (process default override)
   std::string metrics_out;  // write the metrics snapshot here at the end
   std::string trace_out;    // enable tracing, write Chrome trace JSON here
   std::string log_level;    // quiet|info|debug; empty = leave the default
@@ -95,7 +100,8 @@ struct Args {
                "          [--sigma S] [--epochs N] [--comp-epochs N] [--beta B]\n"
                "          [--lambda-min L] [--warmup N] [--ratio R] [--max-layers N]\n"
                "          [--mc N] [--rl] [--train N] [--test N] [--save-prefix P]\n"
-               "          [--target NAME] [--metrics-out F] [--trace-out F]\n"
+               "          [--target NAME] [--fusion on|off]\n"
+               "          [--metrics-out F] [--trace-out F]\n"
                "          [--log-level quiet|info|debug]\n"
                "          [--statusz-port N] [--metrics-stream F]\n"
                "       %s --list-targets\n"
@@ -111,6 +117,18 @@ void apply_target(const char* argv0, const std::string& name) {
     cn::exec::set_default_target(name);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv0, e.what());
+    std::exit(2);
+  }
+}
+
+// Sets the process-wide layer-graph fusion override (nn::fusion_enabled
+// gates every eval-mode Sequential::forward after this).
+void apply_fusion(const char* argv0, const std::string& v) {
+  if (v == "on" || v == "1") cn::nn::set_fusion_enabled(true);
+  else if (v == "off" || v == "0") cn::nn::set_fusion_enabled(false);
+  else {
+    std::fprintf(stderr, "%s: --fusion expects on|off, got '%s'\n", argv0,
+                 v.c_str());
     std::exit(2);
   }
 }
@@ -150,6 +168,7 @@ Args parse(int argc, char** argv) {
     else if (k == "--test") a.test = std::atoll(next());
     else if (k == "--save-prefix") a.save_prefix = next();
     else if (k == "--target") a.target = next();
+    else if (k == "--fusion") a.fusion = next();
     else if (k == "--metrics-out") a.metrics_out = next();
     else if (k == "--trace-out") a.trace_out = next();
     else if (k == "--log-level") a.log_level = next();
@@ -165,6 +184,7 @@ Args parse(int argc, char** argv) {
 struct FaultArgs {
   std::string config;  // key=value campaign file; empty = built-in quick grid
   std::string target;  // overrides the config's `target` key
+  std::string fusion;  // on|off: overrides the config's `fusion` key
   std::string out = "faultsim_report.json";
   int64_t chips = 0;  // >0 overrides the config's chip count
   bool remap = false; // force the fault-aware remapping axis on
@@ -189,7 +209,7 @@ struct FaultArgs {
                "usage: %s faults [--config PATH] [--out PATH] [--chips N]\n"
                "          [--epochs N] [--comp-epochs N] [--train N] [--test N]\n"
                "          [--sigma S] [--remap] [--parallel N] [--target NAME]\n"
-               "          [--metrics-out F] [--trace-out F]\n"
+               "          [--fusion on|off] [--metrics-out F] [--trace-out F]\n"
                "          [--log-level quiet|info|debug] [--quiet]\n"
                "          [--statusz-port N] [--metrics-stream F]\n",
                argv0);
@@ -206,6 +226,7 @@ FaultArgs parse_faults(int argc, char** argv) {
     };
     if (k == "--config") a.config = next();
     else if (k == "--target") a.target = next();
+    else if (k == "--fusion") a.fusion = next();
     else if (k == "--out") a.out = next();
     else if (k == "--chips") a.chips = std::atoll(next());
     else if (k == "--remap") a.remap = true;
@@ -255,6 +276,14 @@ int run_faults(int argc, char** argv) {
       // Validated like the config-file twin: the Campaign ctor resolves the
       // name against the exec registry and throws on a typo.
       if (!args.target.empty()) cfg.set("target", args.target);
+      if (!args.fusion.empty()) {
+        if (args.fusion != "on" && args.fusion != "1" && args.fusion != "off" &&
+            args.fusion != "0")
+          throw std::runtime_error("--fusion expects on|off, got '" +
+                                   args.fusion + "'");
+        cfg.set("fusion",
+                (args.fusion == "on" || args.fusion == "1") ? "1" : "0");
+      }
       // Passed through unvalidated on purpose: a bad value (e.g. negative)
       // must throw from the Campaign ctor like its config-file twin would,
       // not be silently dropped here.
@@ -395,6 +424,7 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "faults") == 0) return run_faults(argc, argv);
   const Args args = parse(argc, argv);
   if (!args.target.empty()) apply_target(argv[0], args.target);
+  if (!args.fusion.empty()) apply_fusion(argv[0], args.fusion);
   if (args.statusz_port >= 0 || !args.metrics_stream.empty()) {
     try {
       if (args.statusz_port >= 0)

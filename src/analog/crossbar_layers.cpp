@@ -1,5 +1,6 @@
 #include "analog/crossbar_layers.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cn::analog {
@@ -15,14 +16,29 @@ CrossbarDense::CrossbarDense(const nn::Dense& src, const RramDeviceParams& dev,
 }
 
 Tensor CrossbarDense::forward(const Tensor& x, bool) {
+  return forward_impl(x, /*relu=*/false);
+}
+
+Tensor CrossbarDense::forward_relu(const Tensor& x) {
+  return forward_impl(x, /*relu=*/true);
+}
+
+Tensor CrossbarDense::forward_impl(const Tensor& x, bool relu) {
   if (x.rank() != 2 || x.dim(1) != xbar_->in_dim())
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
   const int64_t N = x.dim(0), out = xbar_->out_dim(), in = xbar_->in_dim();
   Rng* rng = effective_read_rng();
   if (batched_) {
     Tensor y = xbar_->matmul(x, rng);
-    for (int64_t n = 0; n < N; ++n)
-      for (int64_t o = 0; o < out; ++o) y[n * out + o] += bias_[o];
+    // (v + bias) then max: identical values to bias-add + standalone ReLU.
+    if (relu) {
+      for (int64_t n = 0; n < N; ++n)
+        for (int64_t o = 0; o < out; ++o)
+          y[n * out + o] = std::max(y[n * out + o] + bias_[o], 0.0f);
+    } else {
+      for (int64_t n = 0; n < N; ++n)
+        for (int64_t o = 0; o < out; ++o) y[n * out + o] += bias_[o];
+    }
     return y;
   }
   Tensor y({N, out});
@@ -30,7 +46,11 @@ Tensor CrossbarDense::forward(const Tensor& x, bool) {
   for (int64_t n = 0; n < N; ++n) {
     std::copy(x.data() + n * in, x.data() + (n + 1) * in, xi.data());
     Tensor yi = xbar_->matvec(xi, rng);
-    for (int64_t o = 0; o < out; ++o) y[n * out + o] = yi[o] + bias_[o];
+    if (relu)
+      for (int64_t o = 0; o < out; ++o)
+        y[n * out + o] = std::max(yi[o] + bias_[o], 0.0f);
+    else
+      for (int64_t o = 0; o < out; ++o) y[n * out + o] = yi[o] + bias_[o];
   }
   return y;
 }
@@ -57,6 +77,14 @@ CrossbarConv2D::CrossbarConv2D(const nn::Conv2D& src, const RramDeviceParams& de
 }
 
 Tensor CrossbarConv2D::forward(const Tensor& x, bool) {
+  return forward_impl(x, /*relu=*/false);
+}
+
+Tensor CrossbarConv2D::forward_relu(const Tensor& x) {
+  return forward_impl(x, /*relu=*/true);
+}
+
+Tensor CrossbarConv2D::forward_impl(const Tensor& x, bool relu) {
   if (x.rank() != 4 || x.dim(1) != geom_.in_c || x.dim(2) != geom_.in_h ||
       x.dim(3) != geom_.in_w)
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
@@ -78,9 +106,16 @@ Tensor CrossbarConv2D::forward(const Tensor& x, bool) {
       im2col(x.data() + n * img_in, geom_, cols_cm_.data());
       Tensor acts = xbar_->matmul_cols(cols_cm_, rng);  // (P, out_c)
       float* out = y.data() + n * out_c_ * P;
-      for (int64_t o = 0; o < out_c_; ++o)
-        for (int64_t p = 0; p < P; ++p)
-          out[o * P + p] = acts[p * out_c_ + o] + bias_[o];
+      // (v + bias) then max: identical values to bias-add + standalone ReLU.
+      if (relu) {
+        for (int64_t o = 0; o < out_c_; ++o)
+          for (int64_t p = 0; p < P; ++p)
+            out[o * P + p] = std::max(acts[p * out_c_ + o] + bias_[o], 0.0f);
+      } else {
+        for (int64_t o = 0; o < out_c_; ++o)
+          for (int64_t p = 0; p < P; ++p)
+            out[o * P + p] = acts[p * out_c_ + o] + bias_[o];
+      }
     }
     return y;
   }
@@ -93,7 +128,11 @@ Tensor CrossbarConv2D::forward(const Tensor& x, bool) {
     for (int64_t p = 0; p < P; ++p) {
       for (int64_t k = 0; k < K2; ++k) col[k] = cols[static_cast<size_t>(k * P + p)];
       Tensor acts = xbar_->matvec(col, rng);
-      for (int64_t o = 0; o < out_c_; ++o) out[o * P + p] = acts[o] + bias_[o];
+      if (relu)
+        for (int64_t o = 0; o < out_c_; ++o)
+          out[o * P + p] = std::max(acts[o] + bias_[o], 0.0f);
+      else
+        for (int64_t o = 0; o < out_c_; ++o) out[o * P + p] = acts[o] + bias_[o];
     }
   }
   return y;

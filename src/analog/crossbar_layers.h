@@ -41,6 +41,9 @@ class CrossbarDense final : public nn::Layer {
                 const exec::Target* target = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
+  /// Fused ReLU epilogue (relu-epilogue pass): the clamp rides the bias-add
+  /// loop. Bitwise-identical to forward + standalone ReLU.
+  Tensor forward_relu(const Tensor& x) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
   std::unique_ptr<nn::Layer> clone() const override;
   std::string kind() const override { return "crossbar_dense"; }
@@ -64,6 +67,8 @@ class CrossbarDense final : public nn::Layer {
     return owned_read_rng_ ? &*owned_read_rng_ : nullptr;
   }
 
+  Tensor forward_impl(const Tensor& x, bool relu);
+
   std::shared_ptr<CrossbarArray> xbar_;  // shared by clones (programmed once)
   Tensor bias_;
   Rng* read_rng_ = nullptr;
@@ -81,6 +86,9 @@ class CrossbarConv2D final : public nn::Layer {
                  const exec::Target* target = nullptr);
 
   Tensor forward(const Tensor& x, bool train) override;
+  /// Fused ReLU epilogue (relu-epilogue pass): the clamp rides the bias-add
+  /// write-out. Bitwise-identical to forward + standalone ReLU.
+  Tensor forward_relu(const Tensor& x) override;
   Tensor backward(const Tensor&) override;  // throws: inference only
   std::unique_ptr<nn::Layer> clone() const override;
   std::string kind() const override { return "crossbar_conv2d"; }
@@ -96,6 +104,8 @@ class CrossbarConv2D final : public nn::Layer {
     if (read_rng_) return read_rng_;
     return owned_read_rng_ ? &*owned_read_rng_ : nullptr;
   }
+
+  Tensor forward_impl(const Tensor& x, bool relu);
 
   std::shared_ptr<CrossbarArray> xbar_;
   ConvGeom geom_;

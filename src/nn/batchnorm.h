@@ -20,11 +20,16 @@ class BatchNorm2D final : public Layer {
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::unique_ptr<Layer> clone() const override;
   std::string kind() const override { return "batchnorm2d"; }
+  /// Train mode uses batch statistics and updates the running stats — folding
+  /// a train-mode BN into its producer would bake stale statistics in.
+  bool train_mode_sensitive() const override { return true; }
 
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
 
  private:
   int64_t channels_;

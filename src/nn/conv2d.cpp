@@ -1,11 +1,56 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <stdexcept>
 
 #include "tensor/threadpool.h"
 
 namespace cn::nn {
+
+namespace {
+
+// Pools one image (C, OH*win, OW*win) -> (C, OH, OW) into `out`, with
+// arithmetic identical to MaxPool2D / AvgPool2D forward (same accumulation
+// order, same 1/(win*win) factor), so the pool-fusion pass is bitwise-exact.
+void pool_image(const float* img, const PrePool& p, int64_t C, int64_t OH,
+                int64_t OW, float* out) {
+  const int64_t win = p.window;
+  const int64_t H = OH * win, W = OW * win;
+  for (int64_t c = 0; c < C; ++c) {
+    const float* chan = img + c * H * W;
+    float* ochan = out + c * OH * OW;
+    if (p.kind == PrePool::Kind::kAvg) {
+      const float inv = 1.0f / static_cast<float>(win * win);
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow) {
+          float acc = 0.0f;
+          for (int64_t kh = 0; kh < win; ++kh) {
+            const float* row = chan + (oh * win + kh) * W + ow * win;
+            for (int64_t kw = 0; kw < win; ++kw) acc += row[kw];
+          }
+          ochan[oh * OW + ow] = acc * inv;
+        }
+      }
+    } else {
+      for (int64_t oh = 0; oh < OH; ++oh) {
+        for (int64_t ow = 0; ow < OW; ++ow) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t kh = 0; kh < win; ++kh) {
+            for (int64_t kw = 0; kw < win; ++kw) {
+              const int64_t idx = (oh * win + kh) * W + (ow * win + kw);
+              if (chan[idx] > best) best = chan[idx];
+            }
+          }
+          ochan[oh * OW + ow] = best;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
                int64_t pad, int64_t in_h, int64_t in_w, std::string label)
@@ -17,29 +62,57 @@ Conv2D::Conv2D(int64_t in_c, int64_t out_c, int64_t kernel, int64_t stride,
 }
 
 Tensor Conv2D::forward(const Tensor& x, bool train) {
-  const int64_t N = x.dim(0);
   if (x.rank() != 4 || x.dim(1) != geom_.in_c || x.dim(2) != geom_.in_h ||
       x.dim(3) != geom_.in_w)
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
   if (train) x_cache_ = x;
+  // live_weight() refreshes the effective weight so nominal-weight edits
+  // between forwards (optimizer steps, tests) are always reflected.
+  return forward_fused(x, live_weight().data(), b_.value.data(),
+                       /*pre_pool=*/nullptr, /*relu=*/false);
+}
+
+Tensor Conv2D::forward_relu(const Tensor& x) {
+  return forward_fused(x, live_weight().data(), b_.value.data(),
+                       /*pre_pool=*/nullptr, /*relu=*/true);
+}
+
+Tensor Conv2D::forward_fused(const Tensor& x, const float* pw, const float* pb,
+                             const PrePool* pre_pool, bool relu,
+                             const PrePool* post_pool) {
+  const int64_t win = pre_pool ? pre_pool->window : 1;
+  const int64_t N = x.dim(0);
+  if (x.rank() != 4 || x.dim(1) != geom_.in_c || x.dim(2) != geom_.in_h * win ||
+      x.dim(3) != geom_.in_w * win)
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
 
   const int64_t OH = geom_.out_h(), OW = geom_.out_w();
+  const int64_t pwin = post_pool ? post_pool->window : 1;
+  if (post_pool && (pwin <= 0 || OH % pwin != 0 || OW % pwin != 0))
+    throw std::logic_error(label_ + ": post-pool window does not divide conv output");
+  const int64_t POH = OH / pwin, POW = OW / pwin;
   const int64_t K2 = geom_.in_c * geom_.k_h * geom_.k_w;
-  const int64_t img_in = geom_.in_c * geom_.in_h * geom_.in_w;
-  const int64_t img_out = out_c_ * OH * OW;
-  Tensor y({N, out_c_, OH, OW});
-  // Refresh the effective weight so nominal-weight edits between forwards
-  // (optimizer steps, tests) are always reflected.
-  if (var_active_) w_eff_ = mul(w_.value, factors_);
-  const Tensor& W = effective_weight();
-  const float* pw = W.data();
-  const float* pb = b_.value.data();
+  const int64_t img_pooled = geom_.in_c * geom_.in_h * geom_.in_w;
+  const int64_t img_in = pre_pool ? img_pooled * win * win : img_pooled;
+  const int64_t img_conv = out_c_ * OH * OW;
+  const int64_t img_out = out_c_ * POH * POW;
+  Tensor y({N, out_c_, POH, POW});
 
   parallel_for(0, N, [&](int64_t lo, int64_t hi) {
     std::vector<float> cols(static_cast<size_t>(K2 * OH * OW));
+    std::vector<float> staged;
+    if (pre_pool) staged.resize(static_cast<size_t>(img_pooled));
+    std::vector<float> full;  // per-image conv output when a post-pool runs
+    if (post_pool) full.resize(static_cast<size_t>(img_conv));
     for (int64_t n = lo; n < hi; ++n) {
-      im2col(x.data() + n * img_in, geom_, cols.data());
-      float* out = y.data() + n * img_out;
+      const float* img = x.data() + n * img_in;
+      if (pre_pool) {
+        pool_image(img, *pre_pool, geom_.in_c, geom_.in_h, geom_.in_w,
+                   staged.data());
+        img = staged.data();
+      }
+      im2col(img, geom_, cols.data());
+      float* out = post_pool ? full.data() : y.data() + n * img_out;
       // out(out_c, OH*OW) = W(out_c, K2) * cols(K2, OH*OW)
       const int64_t M = out_c_, Kd = K2, Nd = OH * OW;
       for (int64_t i = 0; i < M; ++i) {
@@ -53,7 +126,12 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
           const float* crow = cols.data() + k * Nd;
           for (int64_t j = 0; j < Nd; ++j) orow[j] += wv * crow[j];
         }
+        if (relu)
+          for (int64_t j = 0; j < Nd; ++j) orow[j] = std::max(orow[j], 0.0f);
       }
+      if (post_pool)
+        pool_image(full.data(), *post_pool, out_c_, POH, POW,
+                   y.data() + n * img_out);
     }
   });
   return y;

@@ -6,6 +6,17 @@
 
 namespace cn::nn {
 
+/// A pooling stage fused ahead of a convolution's im2col producer (the
+/// pool-fusion pass, nn/fusion.h): each input image is pooled into a
+/// per-thread staging buffer with arithmetic identical to MaxPool2D /
+/// AvgPool2D, then convolved from the staging buffer — the pooled
+/// intermediate tensor is never materialized.
+struct PrePool {
+  enum class Kind { kMax, kAvg };
+  Kind kind = Kind::kAvg;
+  int64_t window = 0;  // square window == stride, matching the pool layers
+};
+
 /// Convolution with kernel W stored as (out_c, in_c*kh*kw) and bias (out_c).
 ///
 /// Forward/backward run per-image im2col in parallel over the batch. The
@@ -17,7 +28,30 @@ class Conv2D final : public Layer, public PerturbableWeight {
          int64_t in_h, int64_t in_w, std::string label = "conv");
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_relu(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+
+  /// Eval/exec kernel through explicit weight (out_c, in_c*kh*kw) and bias
+  /// (out_c) buffers — the bn-fold pass feeds folded tensors here — with an
+  /// optional fused pre-pool stage, branchless ReLU epilogue, and optional
+  /// post-pool stage (the conv's output is pooled per image from a scratch
+  /// buffer before it is written back, so the full-resolution feature map is
+  /// never materialized; the ReLU epilogue, when requested, applies before
+  /// pooling, matching the conv→relu→pool graph order). forward() routes
+  /// through this with the live weight, so the fused and unfused paths share
+  /// one accumulation order (the exactness contract). A post-pool window
+  /// must divide the conv output exactly (the fusion pass guarantees it).
+  Tensor forward_fused(const Tensor& x, const float* w, const float* b,
+                       const PrePool* pre_pool, bool relu,
+                       const PrePool* post_pool = nullptr);
+
+  /// The weight tensor forward() would use right now: refreshes w ∘ f when
+  /// variation factors are active. Used by the fused graph executor.
+  const Tensor& live_weight() {
+    if (var_active_) w_eff_ = mul(w_.value, factors_);
+    return effective_weight();
+  }
+
   std::vector<Param*> params() override { return {&w_, &b_}; }
   void collect_analog(std::vector<PerturbableWeight*>& out) override {
     out.push_back(this);

@@ -1,5 +1,6 @@
 #include "nn/dense.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -18,15 +19,31 @@ Tensor Dense::forward(const Tensor& x, bool train) {
   if (x.rank() != 2 || x.dim(1) != in_)
     throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
   if (train) x_cache_ = x;
-  // Refresh the effective weight so nominal-weight edits between forwards
-  // (optimizer steps, tests) are always reflected.
+  // live_weight() refreshes the effective weight so nominal-weight edits
+  // between forwards (optimizer steps, tests) are always reflected.
+  return forward_fused(x, live_weight(), b_.value.data(), /*relu=*/false);
+}
+
+Tensor Dense::forward_relu(const Tensor& x) {
+  return forward_fused(x, live_weight(), b_.value.data(), /*relu=*/true);
+}
+
+const Tensor& Dense::live_weight() {
   if (var_active_) w_eff_ = mul(w_.value, factors_);
-  const Tensor& W = effective_weight();
-  Tensor y = matmul_nt(x, W);  // (N, out)
+  return effective_weight();
+}
+
+Tensor Dense::forward_fused(const Tensor& x, const Tensor& w, const float* b,
+                            bool relu) {
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument(label_ + ": bad input shape " + to_string(x.shape()));
+  Tensor y = matmul_nt(x, w);  // (N, out)
   const int64_t N = y.dim(0);
   for (int64_t n = 0; n < N; ++n) {
     float* row = y.data() + n * out_;
-    for (int64_t o = 0; o < out_; ++o) row[o] += b_.value[o];
+    for (int64_t o = 0; o < out_; ++o) row[o] += b[o];
+    if (relu)
+      for (int64_t o = 0; o < out_; ++o) row[o] = std::max(row[o], 0.0f);
   }
   return y;
 }

@@ -16,7 +16,19 @@ class Dense final : public Layer, public PerturbableWeight {
   Dense(int64_t in_features, int64_t out_features, std::string label = "dense");
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_relu(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+
+  /// Eval/exec kernel through an explicit weight (out, in) and bias (out)
+  /// buffer, with an optional branchless ReLU epilogue folded into the
+  /// bias-add loop. forward() routes through this with the live weight, so
+  /// the fused and unfused paths share one accumulation order.
+  Tensor forward_fused(const Tensor& x, const Tensor& w, const float* b, bool relu);
+
+  /// The weight tensor forward() would use right now: refreshes w ∘ f when
+  /// variation factors are active. Used by the fused graph executor.
+  const Tensor& live_weight();
+
   std::vector<Param*> params() override { return {&w_, &b_}; }
   void collect_analog(std::vector<PerturbableWeight*>& out) override {
     out.push_back(this);

@@ -18,6 +18,8 @@ class MaxPool2D final : public Layer {
   std::unique_ptr<Layer> clone() const override;
   std::string kind() const override { return "maxpool"; }
 
+  int64_t window() const { return window_; }
+
  private:
   int64_t window_;
   Shape in_shape_;

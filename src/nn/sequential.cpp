@@ -2,14 +2,29 @@
 
 #include <stdexcept>
 
+#include "nn/fusion.h"
+
 namespace cn::nn {
 
+// Out of line: ~FusedPlan must be visible to destroy/move the cached plan.
+Sequential::Sequential(std::string label) { label_ = std::move(label); }
+Sequential::~Sequential() = default;
+Sequential::Sequential(Sequential&&) noexcept = default;
+Sequential& Sequential::operator=(Sequential&&) noexcept = default;
+
 Layer& Sequential::add(LayerPtr layer) {
+  plan_.reset();  // structural edit: any cached fused plan is stale
   layers_.push_back(std::move(layer));
   return *layers_.back();
 }
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
+  if (!train && fusion_enabled()) {
+    // The plan holds raw pointers into layers_; moving this Sequential keeps
+    // them valid (layers_ owns through unique_ptr), structural edits reset it.
+    if (!plan_) plan_ = std::make_unique<FusedPlan>(*this);
+    return plan_->execute(x);
+  }
   Tensor h = x;
   for (auto& l : layers_) h = l->forward(h, train);
   return h;
@@ -47,6 +62,7 @@ Sequential Sequential::clone_model() const {
 LayerPtr Sequential::replace_layer(int64_t i, LayerPtr l) {
   if (i < 0 || i >= num_layers())
     throw std::out_of_range("replace_layer: index " + std::to_string(i));
+  plan_.reset();  // structural edit: any cached fused plan is stale
   std::swap(layers_[static_cast<size_t>(i)], l);
   return l;
 }

@@ -8,14 +8,24 @@
 
 namespace cn::nn {
 
+class FusedPlan;  // nn/fusion.h
+
 /// Ordered composition of layers. Itself a Layer, so it can nest.
 ///
 /// CorrectNet manipulates models at this level: the sensitivity sweep
 /// perturbs analog sites by execution order, and the RL environment splices
 /// CompensatedConv2D wrappers in place of plain convolutions.
+///
+/// Eval-mode forwards execute through a lazily-built fused graph plan
+/// (nn/fusion.h) when fusion_enabled(); structural edits (add /
+/// replace_layer) invalidate the cached plan. Train-mode forwards always run
+/// the plain layer loop.
 class Sequential final : public Layer {
  public:
-  explicit Sequential(std::string label = "model") { label_ = std::move(label); }
+  explicit Sequential(std::string label = "model");
+  ~Sequential() override;
+  Sequential(Sequential&&) noexcept;
+  Sequential& operator=(Sequential&&) noexcept;
 
   /// Appends a layer; returns a reference to it for chaining/config.
   Layer& add(LayerPtr layer);
@@ -61,6 +71,7 @@ class Sequential final : public Layer {
 
  private:
   std::vector<LayerPtr> layers_;
+  std::unique_ptr<FusedPlan> plan_;  // lazy eval-path fused plan
 };
 
 }  // namespace cn::nn

@@ -1,15 +1,113 @@
-// Shared helper for suites that assert the bit-exactness contract between
-// the batched crossbar path and the scalar matvec reference. The contract is
-// a property of the execution target: under an approximate ambient target
-// (the CORRECTNET_TARGET=int8 CI matrix leg) those assertions are vacuously
-// out of force, so the tests skip — loudly, with the target named — instead
-// of failing. Per-target parity itself is proven with explicit targets in
-// tests/test_crossbar_exec.cpp, which runs identically under every leg.
+// Shared helpers for suites that assert the bit-exactness contract between
+// execution paths (batched crossbar vs scalar matvec, fused vs unfused
+// graphs). The contract is a property of the execution target: under an
+// approximate ambient target (the CORRECTNET_TARGET=int8 CI matrix leg)
+// those assertions are vacuously out of force, so the tests skip — loudly,
+// with the target named — instead of failing. Per-target parity itself is
+// proven with explicit targets in tests/test_crossbar_exec.cpp, which runs
+// identically under every leg.
+//
+// expect_bitwise_equal / expect_within_ulps are the shared parity
+// assertions: one failure per call with the first mismatching index, both
+// values, the magnitude of the difference, and the mismatch count — instead
+// of a per-element ASSERT_EQ spray.
 #pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "exec/target.h"
+#include "tensor/tensor.h"
+
+namespace cn::testutil {
+
+// Sign-adjusted integer image of a float: monotone in the IEEE-754 value
+// order (with -0 mapping next to +0), so ulp distance is plain subtraction.
+inline int64_t float_ordinal(float f) {
+  int32_t i;
+  std::memcpy(&i, &f, sizeof(i));
+  return i >= 0 ? static_cast<int64_t>(i)
+                : -static_cast<int64_t>(i & 0x7FFFFFFF);
+}
+
+inline int64_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<int64_t>::max();
+  const int64_t d = float_ordinal(a) - float_ordinal(b);
+  return d < 0 ? -d : d;
+}
+
+// Asserts got[i] and want[i] carry identical bit patterns for every i
+// (strictly stronger than ==: a +0/-0 split fails, identical NaNs pass).
+// One failure per call, carrying the diff geometry.
+inline void expect_bitwise_equal(const float* got, const float* want,
+                                 int64_t n, const std::string& what) {
+  int64_t first = -1, mismatches = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(float)) != 0) {
+      if (first < 0) first = i;
+      ++mismatches;
+    }
+  }
+  if (mismatches == 0) return;
+  ADD_FAILURE() << what << ": " << mismatches << "/" << n
+                << " elements differ; first at [" << first << "]: got "
+                << got[first] << ", want " << want[first] << " (|diff| "
+                << std::abs(static_cast<double>(got[first]) - want[first])
+                << ", " << ulp_distance(got[first], want[first]) << " ulps)";
+}
+
+inline void expect_bitwise_equal(const Tensor& got, const Tensor& want,
+                                 const std::string& what) {
+  ASSERT_TRUE(got.same_shape(want)) << what << ": shape mismatch (got "
+                                    << got.size() << " elements, want "
+                                    << want.size() << ")";
+  expect_bitwise_equal(got.data(), want.data(), got.size(), what);
+}
+
+// Asserts every element pair is within `max_ulps` ulps OR within `abs_eps`
+// absolute (the escape hatch for catastrophic cancellation near zero, where
+// ulp distance explodes while the absolute error stays negligible). Reports
+// the worst surviving element on failure.
+inline void expect_within_ulps(const float* got, const float* want, int64_t n,
+                               int64_t max_ulps, float abs_eps,
+                               const std::string& what) {
+  int64_t worst_i = -1, worst_ulps = -1, bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t u = ulp_distance(got[i], want[i]);
+    if (u <= max_ulps) continue;
+    if (std::abs(static_cast<double>(got[i]) - want[i]) <= abs_eps) continue;
+    ++bad;
+    if (u > worst_ulps) {
+      worst_ulps = u;
+      worst_i = i;
+    }
+  }
+  if (bad == 0) return;
+  ADD_FAILURE() << what << ": " << bad << "/" << n
+                << " elements beyond " << max_ulps << " ulps (abs escape "
+                << abs_eps << "); worst at [" << worst_i << "]: got "
+                << got[worst_i] << ", want " << want[worst_i] << " (|diff| "
+                << std::abs(static_cast<double>(got[worst_i]) - want[worst_i])
+                << ", " << worst_ulps << " ulps)";
+}
+
+inline void expect_within_ulps(const Tensor& got, const Tensor& want,
+                               int64_t max_ulps, float abs_eps,
+                               const std::string& what) {
+  ASSERT_TRUE(got.same_shape(want)) << what << ": shape mismatch (got "
+                                    << got.size() << " elements, want "
+                                    << want.size() << ")";
+  expect_within_ulps(got.data(), want.data(), got.size(), max_ulps, abs_eps,
+                     what);
+}
+
+}  // namespace cn::testutil
 
 #define CN_SKIP_UNLESS_BIT_EXACT_TARGET()                                  \
   do {                                                                     \

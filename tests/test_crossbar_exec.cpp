@@ -16,6 +16,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "exec/target.h"
+#include "exec_testutil.h"
 #include "faultsim/fault_models.h"
 #include "models/lenet.h"
 #include "tensor/ops.h"
@@ -62,13 +63,12 @@ void expect_paths_bit_identical(const RramDeviceParams& dev,
     for (int64_t n = 0; n < kBatch; ++n) {
       std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
       Tensor yi = xbar.matvec(xi);
-      for (int64_t o = 0; o < kOut; ++o) {
-        ASSERT_EQ(y_batch[n * kOut + o], yi[o])
-            << what << " [" << t->name() << "]: matmul row " << n << " col " << o;
-        ASSERT_EQ(y_cols[n * kOut + o], yi[o])
-            << what << " [" << t->name() << "]: matmul_cols row " << n << " col "
-            << o;
-      }
+      const std::string row = what + " [" + t->name() + "] row " +
+                              std::to_string(n);
+      testutil::expect_bitwise_equal(y_batch.data() + n * kOut, yi.data(),
+                                     kOut, row + " matmul");
+      testutil::expect_bitwise_equal(y_cols.data() + n * kOut, yi.data(),
+                                     kOut, row + " matmul_cols");
     }
   }
   // simd, simd-generic and huge-tile are always executable.
@@ -185,12 +185,14 @@ TEST(CrossbarExec, ForcedSimdDispatchLevelsAreBitIdentical) {
     const Tensor y_batch = xbar.matmul(x);
     const Tensor y_cols = xbar.matmul_cols(x_cm);
     for (int64_t n = 0; n < kBatch; ++n) {
-      for (int64_t o = 0; o < kOut; ++o) {
-        ASSERT_EQ(y_batch[n * kOut + o], ref[static_cast<size_t>(n)][o])
-            << "level " << static_cast<int>(level) << " matmul " << n << "," << o;
-        ASSERT_EQ(y_cols[n * kOut + o], ref[static_cast<size_t>(n)][o])
-            << "level " << static_cast<int>(level) << " matmul_cols " << n << "," << o;
-      }
+      const std::string row = "level " + std::to_string(static_cast<int>(level)) +
+                              " row " + std::to_string(n);
+      testutil::expect_bitwise_equal(y_batch.data() + n * kOut,
+                                     ref[static_cast<size_t>(n)].data(), kOut,
+                                     row + " matmul");
+      testutil::expect_bitwise_equal(y_cols.data() + n * kOut,
+                                     ref[static_cast<size_t>(n)].data(), kOut,
+                                     row + " matmul_cols");
     }
   }
   EXPECT_GE(tested, 1);  // generic always runs
@@ -223,8 +225,8 @@ TEST(CrossbarExec, HugeTileTargetIsBitExactAcrossColumnChunks) {
   for (int64_t n = 0; n < kBatch; ++n) {
     std::copy(x.data() + n * kIn, x.data() + (n + 1) * kIn, xi.data());
     const Tensor yi = xbar.matvec(xi);
-    for (int64_t o = 0; o < kOut; ++o)
-      ASSERT_EQ(y_batch[n * kOut + o], yi[o]) << n << "," << o;
+    testutil::expect_bitwise_equal(y_batch.data() + n * kOut, yi.data(), kOut,
+                                   "huge-tile row " + std::to_string(n));
   }
 }
 
@@ -301,14 +303,14 @@ TEST(CrossbarExec, ReadNoisePathsAreSeedDeterministic) {
   Rng ra(77), rb(77);
   Tensor ya = xbar.matmul(x, &ra);
   Tensor yb = xbar.matmul(x, &rb);
-  for (int64_t i = 0; i < ya.size(); ++i) ASSERT_EQ(ya[i], yb[i]) << "elem " << i;
+  testutil::expect_bitwise_equal(ya, yb, "same-seed matmul reads");
 
   Tensor xi({17});
   std::copy(x.data(), x.data() + 17, xi.data());
   Rng rc(78), rd(78);
   Tensor yc = xbar.matvec(xi, &rc);
   Tensor yd = xbar.matvec(xi, &rd);
-  for (int64_t i = 0; i < yc.size(); ++i) ASSERT_EQ(yc[i], yd[i]) << "elem " << i;
+  testutil::expect_bitwise_equal(yc, yd, "same-seed matvec reads");
   // And the noise actually engages: a different seed changes the output.
   Rng re(79);
   Tensor ye = xbar.matvec(xi, &re);
